@@ -1,0 +1,51 @@
+//! Criterion benchmarks behind Figures 3(b) and 4(a): cost of simulating
+//! gossip rounds (plaintext epidemic sum and min-id dissemination) at
+//! increasing population sizes.
+
+use chiaroscuro_gossip::churn::ChurnModel;
+use chiaroscuro_gossip::dissemination::{DisseminationProtocol, MinIdState};
+use chiaroscuro_gossip::engine::GossipEngine;
+use chiaroscuro_gossip::sum::{initial_states, PushPullSum};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_epidemic_sum_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epidemic_sum_30_rounds");
+    group.sample_size(10);
+    for &population in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(population as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(population), &population, |b, &pop| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let values = vec![1.0f64; pop];
+                let mut engine = GossipEngine::new(initial_states(&values), ChurnModel::NONE);
+                engine.run_rounds(&PushPullSum, 30, &mut rng);
+                black_box(engine.metrics().messages())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dissemination_20_rounds");
+    group.sample_size(10);
+    for &population in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(population), &population, |b, &pop| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let states: Vec<MinIdState<u64>> =
+                    (0..pop).map(|_| MinIdState::new(rng.gen(), rng.gen())).collect();
+                let mut engine = GossipEngine::new(states, ChurnModel::NONE);
+                engine.run_rounds(&DisseminationProtocol, 20, &mut rng);
+                black_box(engine.nodes()[0].id)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epidemic_sum_rounds, bench_dissemination);
+criterion_main!(benches);

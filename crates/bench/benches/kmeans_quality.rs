@@ -1,0 +1,56 @@
+//! Criterion benchmarks behind Figure 2: cost of one perturbed k-means run
+//! (the paper's quality surrogate) against the unperturbed baseline, per
+//! budget-concentration strategy.
+
+use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
+use chiaroscuro_kmeans::init::InitialCentroids;
+use chiaroscuro_kmeans::lloyd::{KMeans, KMeansConfig};
+use chiaroscuro_kmeans::perturbed::{PerturbedKMeans, PerturbedKMeansConfig, Smoothing};
+use chiaroscuro_timeseries::datasets::{cer::CerLikeGenerator, DatasetGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_quality_surrogate(c: &mut Criterion) {
+    let data = CerLikeGenerator::new(1).generate(2_000);
+    let init = InitialCentroids::Provided(CerLikeGenerator::new(1).generate_initial_centroids(20));
+
+    let mut group = c.benchmark_group("perturbed_kmeans_2000x24_k20_5it");
+    group.sample_size(10);
+
+    group.bench_function("baseline_lloyd", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let report = KMeans::new(KMeansConfig { max_iterations: 5, convergence_threshold: 0.0 })
+                .run(&data, &init, &mut rng);
+            black_box(report.num_iterations())
+        })
+    });
+
+    for (name, strategy) in [
+        ("greedy", BudgetStrategy::Greedy),
+        ("greedy_floor", BudgetStrategy::GreedyFloor { floor_size: 4 }),
+        ("uniform_fast", BudgetStrategy::UniformFast { max_iterations: 5 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("perturbed", name), &strategy, |b, &strategy| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let config = PerturbedKMeansConfig {
+                    schedule: BudgetSchedule::new(strategy, 0.69, 5),
+                    max_iterations: 5,
+                    convergence_threshold: 0.0,
+                    smoothing: Smoothing::PAPER_DEFAULT,
+                    iteration_churn: 0.0,
+                    gossip_error_bound: 0.0,
+                };
+                let report = PerturbedKMeans::new(config).run(&data, &init, &mut rng);
+                black_box(report.num_iterations())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality_surrogate);
+criterion_main!(benches);

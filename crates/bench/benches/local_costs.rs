@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks behind Figure 5(a): per-operation costs of the
+//! homomorphic encryption layer (encrypt / add / scalar-scale / threshold
+//! decrypt one value, and one full set of means at a reduced key size so the
+//! bench suite stays fast; the `fig5_local_costs` binary measures the full
+//! 1024-bit paper setting).
+
+use chiaroscuro_crypto::encoding::FixedPointEncoder;
+use chiaroscuro_crypto::keys::KeyPair;
+use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cipher_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("damgard_jurik");
+    group.sample_size(20);
+    for &bits in &[256u64, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(bits, 1, &mut rng);
+        let encoder = FixedPointEncoder::new(3);
+        let m = encoder.encode(42.5, &kp.public);
+        let c1 = kp.public.encrypt(&m, &mut rng);
+        let c2 = kp.public.encrypt(&m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.public.encrypt(&m, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.public.add(&c1, &c2)))
+        });
+        group.bench_with_input(BenchmarkId::new("scale_pow2", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.public.scale_pow2(&c1, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_key_decrypt", bits), &bits, |b, _| {
+            b.iter(|| black_box(kp.secret.decrypt(&kp.public, &c1)))
+        });
+
+        let dealer = ThresholdDealer::new(&kp, 8, 3);
+        let shares = dealer.deal(&mut rng);
+        group.bench_with_input(BenchmarkId::new("threshold_decrypt_tau3", bits), &bits, |b, _| {
+            b.iter(|| {
+                let partials: Vec<PartialDecryption> =
+                    shares[..3].iter().map(|s| s.partial_decrypt(&kp.public, &c1)).collect();
+                black_box(combine(&kp.public, &partials, 3, 8).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mean_set(c: &mut Criterion) {
+    // One reduced "set of means": 10 means x 20 measures, 256-bit key.
+    let mut group = c.benchmark_group("mean_set_256bit_10x20");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = KeyPair::generate(256, 1, &mut rng);
+    let encoder = FixedPointEncoder::new(3);
+    let entries = 10 * 21;
+    let values: Vec<_> = (0..entries).map(|i| encoder.encode(i as f64, &kp.public)).collect();
+    let set: Vec<_> = values.iter().map(|v| kp.public.encrypt(v, &mut rng)).collect();
+    group.bench_function("encrypt_set", |b| {
+        b.iter(|| {
+            let encrypted: Vec<_> = values.iter().map(|v| kp.public.encrypt(v, &mut rng)).collect();
+            black_box(encrypted)
+        })
+    });
+    group.bench_function("add_two_sets", |b| {
+        b.iter(|| {
+            let summed: Vec<_> = set.iter().zip(set.iter()).map(|(a, b2)| kp.public.add(a, b2)).collect();
+            black_box(summed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cipher_ops, bench_mean_set);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! A minimal `--key value` command-line parser (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options of a harness binary.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` and `--flag` pairs from `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (used by tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else { continue };
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), value);
+        }
+        Self { values }
+    }
+
+    /// String option with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Numeric option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.values.get(key).map(String::as_str), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs_and_flags() {
+        let a = args(&["--series", "1000", "--dataset", "cer", "--verbose"]);
+        assert_eq!(a.get("series", 0usize), 1000);
+        assert_eq!(a.get_str("dataset", "numed"), "cer");
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn falls_back_to_defaults() {
+        let a = args(&[]);
+        assert_eq!(a.get("series", 42usize), 42);
+        assert_eq!(a.get_str("dataset", "cer"), "cer");
+    }
+
+    #[test]
+    fn invalid_numbers_use_default() {
+        let a = args(&["--series", "abc"]);
+        assert_eq!(a.get("series", 7usize), 7);
+    }
+}

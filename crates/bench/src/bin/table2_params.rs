@@ -1,0 +1,47 @@
+//! Prints the experimental parameters of Table 2 and the scaled-down values
+//! actually used by the harness binaries on this machine.
+
+use chiaroscuro_bench::{Args, Table};
+use chiaroscuro_core::config::ExperimentParams;
+
+fn main() {
+    let args = Args::from_env();
+    let series = args.get("series", 20_000usize);
+    let paper = ExperimentParams::TABLE_2;
+
+    let mut table = Table::new("Table 2 — Experimental parameters (paper vs this harness)", &[
+        "parameter",
+        "paper",
+        "harness default",
+    ]);
+    let mut add = |name: &str, paper_value: String, ours: String| {
+        table.row(&[name.to_string(), paper_value, ours]);
+    };
+    add("CER series", format!("{}", paper.cer_series), format!("{series} (synthetic CER-like)"));
+    add("NUMED series", format!("{}", paper.numed_series), format!("{series} (synthetic NUMED-like)"));
+    add("CER series length", format!("{}", paper.cer_length), format!("{}", paper.cer_length));
+    add("NUMED series length", format!("{}", paper.numed_length), format!("{}", paper.numed_length));
+    add("key size (bits)", format!("{}", paper.key_bits), "1024 (fig5) / 256 (functional runs)".into());
+    add(
+        "key-share threshold",
+        format!("{}%..{}%", paper.key_share_threshold_range.0 * 100.0, paper.key_share_threshold_range.1 * 100.0),
+        "same range, population-limited".into(),
+    );
+    add("privacy budget ε", format!("{}", paper.epsilon), format!("{}", paper.epsilon));
+    add("noise shares nν", "100% of population".into(), "100% of population".into());
+    add("initial centroids k", format!("{}", paper.k), format!("{}", paper.k));
+    add("local view size", format!("{}", paper.view_size), format!("{}", paper.view_size));
+    add(
+        "churn",
+        format!("{}%..{}%", paper.churn_range.0 * 100.0, paper.churn_range.1 * 100.0),
+        "same range".into(),
+    );
+    add("GF floor size", format!("{}", paper.floor_size), format!("{}", paper.floor_size));
+    add(
+        "max iterations",
+        format!("{} (UF) / {}", paper.max_iterations.0, paper.max_iterations.1),
+        format!("{} (UF) / {}", paper.max_iterations.0, paper.max_iterations.1),
+    );
+    add("SMA window", format!("{}%", paper.sma_window * 100.0), format!("{}%", paper.sma_window * 100.0));
+    table.print();
+}

@@ -1,0 +1,353 @@
+//! Run parameters (Table 1) and the paper's experimental settings (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use chiaroscuro_dp::accountant::ProbabilisticDpParams;
+use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
+use chiaroscuro_kmeans::perturbed::Smoothing;
+
+/// All parameters of a Chiaroscuro run (the building blocks' initialisation
+/// parameters of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChiaroscuroParams {
+    // --- k-means ---
+    /// Initial number of centroids `k`.
+    pub k: usize,
+    /// Convergence threshold θ.
+    pub convergence_threshold: f64,
+    /// Maximum number of iterations `n_max_it`.
+    pub max_iterations: usize,
+
+    // --- privacy ---
+    /// Total differential-privacy budget ε.
+    pub epsilon: f64,
+    /// Probabilistic-DP probability δ.
+    pub delta: f64,
+    /// Budget-concentration strategy (§5.1).
+    pub strategy: BudgetStrategy,
+    /// Means smoothing (§5.2).
+    pub smoothing: Smoothing,
+    /// Number of noise shares `nν` (the expected lower bound on the number
+    /// of contributors).
+    pub num_noise_shares: usize,
+
+    // --- cryptography ---
+    /// RSA-modulus size in bits (the paper uses 1024).
+    pub key_bits: u64,
+    /// Damgård–Jurik exponent `s` (1 = Paillier).
+    pub damgard_jurik_s: u32,
+    /// Key-share threshold τ, as an absolute number of shares.
+    pub key_share_threshold: usize,
+    /// Decimal digits preserved by the fixed-point encoding.
+    pub encoding_digits: u32,
+
+    // --- gossip ---
+    /// Size of the local view Λ.
+    pub view_size: usize,
+    /// Number of gossip exchanges `ne` per epidemic sum (if `None`, derived
+    /// from Theorem 3 for the target error below).
+    pub exchanges_override: Option<u32>,
+    /// Target gossip relative approximation error `e_max`.
+    pub gossip_error_bound: f64,
+    /// Per-exchange disconnection probability (churn).
+    pub churn: f64,
+}
+
+impl ChiaroscuroParams {
+    /// Starts a builder pre-filled with the paper's defaults scaled down to
+    /// a laptop-sized functional run.
+    pub fn builder() -> ChiaroscuroParamsBuilder {
+        ChiaroscuroParamsBuilder::default()
+    }
+
+    /// The per-iteration privacy-budget schedule implied by the strategy.
+    pub fn budget_schedule(&self) -> BudgetSchedule {
+        BudgetSchedule::new(self.strategy, self.epsilon, self.max_iterations)
+    }
+
+    /// The probabilistic-DP parameters for a series length `n`.
+    pub fn dp_params(&self, series_length: usize) -> ProbabilisticDpParams {
+        ProbabilisticDpParams::new(self.epsilon, self.delta, self.max_iterations, series_length)
+    }
+
+    /// The number of gossip exchanges per epidemic sum: the override if set,
+    /// otherwise the Theorem-3 value for `population` and unit variance.
+    pub fn exchanges_for(&self, population: usize, series_length: usize) -> u32 {
+        if let Some(n) = self.exchanges_override {
+            return n;
+        }
+        chiaroscuro_dp::accountant::exchanges_for_params(
+            &self.dp_params(series_length),
+            population,
+            1.0,
+            self.gossip_error_bound.max(1e-15),
+        ) as u32
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics when a parameter combination is nonsensical (k = 0, ε ≤ 0, ...).
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "k must be at least 1");
+        assert!(self.max_iterations >= 1);
+        assert!(self.epsilon > 0.0 && self.epsilon.is_finite());
+        assert!(self.delta > 0.0 && self.delta <= 1.0);
+        assert!(self.num_noise_shares >= 1);
+        assert!(self.key_bits >= 64, "keys below 64 bits cannot hold the encoded sums");
+        assert!(self.damgard_jurik_s >= 1);
+        assert!(self.key_share_threshold >= 1);
+        assert!(self.view_size >= 1);
+        assert!((0.0..1.0).contains(&self.churn));
+        assert!(self.gossip_error_bound >= 0.0 && self.gossip_error_bound < 1.0);
+    }
+}
+
+/// Builder for [`ChiaroscuroParams`].
+#[derive(Debug, Clone)]
+pub struct ChiaroscuroParamsBuilder {
+    params: ChiaroscuroParams,
+}
+
+impl Default for ChiaroscuroParamsBuilder {
+    fn default() -> Self {
+        Self {
+            params: ChiaroscuroParams {
+                k: 10,
+                convergence_threshold: 1e-3,
+                max_iterations: 10,
+                epsilon: 0.69,
+                delta: 0.995,
+                strategy: BudgetStrategy::Greedy,
+                smoothing: Smoothing::PAPER_DEFAULT,
+                num_noise_shares: 100,
+                key_bits: 256,
+                damgard_jurik_s: 1,
+                key_share_threshold: 3,
+                encoding_digits: 3,
+                view_size: 30,
+                exchanges_override: None,
+                gossip_error_bound: 1e-3,
+                churn: 0.0,
+            },
+        }
+    }
+}
+
+impl ChiaroscuroParamsBuilder {
+    /// Sets the number of clusters.
+    pub fn k(mut self, k: usize) -> Self {
+        self.params.k = k;
+        self
+    }
+
+    /// Sets the total privacy budget.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.params.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the probabilistic-DP δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.params.delta = delta;
+        self
+    }
+
+    /// Sets the budget-concentration strategy.
+    pub fn strategy(mut self, strategy: BudgetStrategy) -> Self {
+        self.params.strategy = strategy;
+        self
+    }
+
+    /// Sets the means-smoothing mode.
+    pub fn smoothing(mut self, smoothing: Smoothing) -> Self {
+        self.params.smoothing = smoothing;
+        self
+    }
+
+    /// Sets the maximum number of iterations.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.params.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the key size in bits.
+    pub fn key_bits(mut self, key_bits: u64) -> Self {
+        self.params.key_bits = key_bits;
+        self
+    }
+
+    /// Sets the key-share threshold τ.
+    pub fn key_share_threshold(mut self, threshold: usize) -> Self {
+        self.params.key_share_threshold = threshold;
+        self
+    }
+
+    /// Sets the number of noise shares nν.
+    pub fn num_noise_shares(mut self, num_noise_shares: usize) -> Self {
+        self.params.num_noise_shares = num_noise_shares;
+        self
+    }
+
+    /// Sets the per-exchange churn probability.
+    pub fn churn(mut self, churn: f64) -> Self {
+        self.params.churn = churn;
+        self
+    }
+
+    /// Sets a fixed number of gossip exchanges (otherwise Theorem 3 is used).
+    pub fn exchanges(mut self, exchanges: u32) -> Self {
+        self.params.exchanges_override = Some(exchanges);
+        self
+    }
+
+    /// Sets the local-view size Λ.
+    pub fn view_size(mut self, view_size: usize) -> Self {
+        self.params.view_size = view_size;
+        self
+    }
+
+    /// Sets the convergence threshold θ.
+    pub fn convergence_threshold(mut self, threshold: f64) -> Self {
+        self.params.convergence_threshold = threshold;
+        self
+    }
+
+    /// Finalises the parameters.
+    ///
+    /// # Panics
+    /// Panics if the combination is invalid (see [`ChiaroscuroParams::validate`]).
+    pub fn build(self) -> ChiaroscuroParams {
+        self.params.validate();
+        self.params
+    }
+}
+
+/// The paper's experimental settings (Table 2), kept verbatim so the figure
+/// harness can print them and scale them down explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Number of CER time-series (3M).
+    pub cer_series: usize,
+    /// Number of NUMED time-series (1.2M).
+    pub numed_series: usize,
+    /// CER series length (24 hourly measures).
+    pub cer_length: usize,
+    /// NUMED series length (20 weekly measures).
+    pub numed_length: usize,
+    /// Key size in bits (1024).
+    pub key_bits: u64,
+    /// Key-share threshold range, as fractions of the population.
+    pub key_share_threshold_range: (f64, f64),
+    /// Privacy budget ε = ln 2.
+    pub epsilon: f64,
+    /// Number of noise shares as a fraction of the population (100%).
+    pub noise_share_fraction: f64,
+    /// Initial number of centroids k = 50.
+    pub k: usize,
+    /// Local view size (30).
+    pub view_size: usize,
+    /// Churn range explored (10% to 50%).
+    pub churn_range: (f64, f64),
+    /// GREEDY_FLOOR floor size (4).
+    pub floor_size: usize,
+    /// Iteration cap for UNIFORM_FAST (5) and globally (10).
+    pub max_iterations: (usize, usize),
+    /// SMA window as a fraction of the series length (20%).
+    pub sma_window: f64,
+}
+
+impl ExperimentParams {
+    /// The values of Table 2.
+    pub const TABLE_2: ExperimentParams = ExperimentParams {
+        cer_series: 3_000_000,
+        numed_series: 1_200_000,
+        cer_length: 24,
+        numed_length: 20,
+        key_bits: 1024,
+        key_share_threshold_range: (0.00001, 0.10),
+        epsilon: 0.69,
+        noise_share_fraction: 1.0,
+        k: 50,
+        view_size: 30,
+        churn_range: (0.10, 0.50),
+        floor_size: 4,
+        max_iterations: (5, 10),
+        sma_window: 0.20,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_defaults() {
+        let p = ChiaroscuroParams::builder().build();
+        assert_eq!(p.k, 10);
+        assert_eq!(p.epsilon, 0.69);
+        p.validate();
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let p = ChiaroscuroParams::builder()
+            .k(50)
+            .epsilon(1.0)
+            .delta(0.99)
+            .strategy(BudgetStrategy::UniformFast { max_iterations: 5 })
+            .max_iterations(5)
+            .key_bits(512)
+            .key_share_threshold(7)
+            .num_noise_shares(1_000)
+            .churn(0.25)
+            .exchanges(40)
+            .view_size(20)
+            .convergence_threshold(1e-2)
+            .smoothing(Smoothing::None)
+            .build();
+        assert_eq!(p.k, 50);
+        assert_eq!(p.key_bits, 512);
+        assert_eq!(p.exchanges_override, Some(40));
+        assert_eq!(p.key_share_threshold, 7);
+        assert_eq!(p.churn, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        ChiaroscuroParams::builder().k(0).build();
+    }
+
+    #[test]
+    fn schedule_and_dp_params_are_consistent() {
+        let p = ChiaroscuroParams::builder().build();
+        let schedule = p.budget_schedule();
+        assert!(schedule.cumulative_epsilon(p.max_iterations) <= p.epsilon + 1e-9);
+        let dp = p.dp_params(24);
+        assert_eq!(dp.max_iterations, p.max_iterations);
+    }
+
+    #[test]
+    fn exchange_count_uses_override_or_theorem3() {
+        let fixed = ChiaroscuroParams::builder().exchanges(33).build();
+        assert_eq!(fixed.exchanges_for(1_000_000, 24), 33);
+        let derived = ChiaroscuroParams::builder().build();
+        let ne = derived.exchanges_for(1_000_000, 24);
+        assert!(ne >= 10 && ne <= 100, "ne = {ne}");
+    }
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let t = ExperimentParams::TABLE_2;
+        assert_eq!(t.cer_series, 3_000_000);
+        assert_eq!(t.numed_series, 1_200_000);
+        assert_eq!(t.k, 50);
+        assert_eq!(t.key_bits, 1024);
+        assert!((t.epsilon - 0.69).abs() < 1e-12);
+        assert_eq!(t.view_size, 30);
+        assert_eq!(t.floor_size, 4);
+        assert_eq!(t.max_iterations, (5, 10));
+        assert!((t.sma_window - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! The per-iteration latency model of §6.3.2.
+//!
+//! The paper estimates the duration of one Chiaroscuro iteration by
+//! composing (1) the local costs measured on a typical participant
+//! (encryption, homomorphic addition, decryption of one set of means, and
+//! the transfer time of one set of means) with (2) the number of gossip
+//! messages required by the epidemic sums, the dissemination and the
+//! epidemic decryption.  This module reproduces that composition so the
+//! "≈26 minutes for the first iteration" narrative can be regenerated from
+//! our own measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Locally measured unit costs (seconds / bytes), i.e. Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalCosts {
+    /// Time to encrypt one full set of means (seconds).
+    pub encrypt_set_secs: f64,
+    /// Time to homomorphically add two sets of means (seconds).
+    pub add_set_secs: f64,
+    /// Time to decrypt (partially + combine) one set of means (seconds).
+    pub decrypt_set_secs: f64,
+    /// Size of one set of encrypted means (bytes).
+    pub set_bytes: usize,
+    /// Participant uplink/downlink bandwidth (bits per second).
+    pub bandwidth_bits_per_sec: f64,
+}
+
+impl LocalCosts {
+    /// Transfer time of one set of means at the configured bandwidth.
+    pub fn transfer_set_secs(&self) -> f64 {
+        (self.set_bytes as f64 * 8.0) / self.bandwidth_bits_per_sec
+    }
+}
+
+/// Message counts of one iteration (from the gossip simulations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationMessageCounts {
+    /// Messages per participant spent on each epidemic encrypted sum
+    /// (the iteration runs two of them: means and noise).
+    pub sum_messages_per_node: f64,
+    /// Messages per participant spent on the noise-correction dissemination.
+    pub dissemination_messages_per_node: f64,
+    /// Messages per participant spent on the epidemic decryption.
+    pub decryption_messages_per_node: f64,
+}
+
+/// The latency model combining local costs with message counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCostModel {
+    /// Local unit costs.
+    pub local: LocalCosts,
+    /// Message counts.
+    pub messages: IterationMessageCounts,
+}
+
+impl IterationCostModel {
+    /// Estimated wall-clock duration of one iteration for one participant,
+    /// in seconds.
+    ///
+    /// Each epidemic-sum message carries one set of means (transfer) and
+    /// triggers one homomorphic addition; the decryption phase transfers the
+    /// equivalent of four sets per exchange (paper §6.3.1) and ends with one
+    /// threshold decryption; the initial assignment requires one encryption
+    /// of the local set.
+    pub fn iteration_seconds(&self) -> f64 {
+        let transfer = self.local.transfer_set_secs();
+        let sum_phase = self.messages.sum_messages_per_node * (transfer + self.local.add_set_secs);
+        let dissemination_phase = self.messages.dissemination_messages_per_node * transfer * 0.1;
+        let decryption_phase =
+            self.messages.decryption_messages_per_node * (2.0 * transfer) + self.local.decrypt_set_secs;
+        self.local.encrypt_set_secs + sum_phase + dissemination_phase + decryption_phase
+    }
+
+    /// The same estimate in minutes.
+    pub fn iteration_minutes(&self) -> f64 {
+        self.iteration_seconds() / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper-scale numbers: ~130 kB per set, 1 Mb/s links, hundreds of sum
+    /// messages.  The first iteration must land in the tens of minutes
+    /// (the paper reports ≈26 min), not seconds or days.
+    #[test]
+    fn paper_scale_iteration_is_tens_of_minutes() {
+        let model = IterationCostModel {
+            local: LocalCosts {
+                encrypt_set_secs: 3.0,
+                add_set_secs: 0.1,
+                decrypt_set_secs: 10.0,
+                set_bytes: 130_000,
+                bandwidth_bits_per_sec: 1_000_000.0,
+            },
+            messages: IterationMessageCounts {
+                sum_messages_per_node: 2.0 * 100.0, // two epidemic sums, ~100 messages each
+                dissemination_messages_per_node: 50.0,
+                decryption_messages_per_node: 100.0,
+            },
+        };
+        let minutes = model.iteration_minutes();
+        assert!(minutes > 5.0 && minutes < 90.0, "minutes = {minutes}");
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let local = LocalCosts {
+            encrypt_set_secs: 0.0,
+            add_set_secs: 0.0,
+            decrypt_set_secs: 0.0,
+            set_bytes: 125_000, // 1 Mb
+            bandwidth_bits_per_sec: 1_000_000.0,
+        };
+        assert!((local.transfer_set_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_iterations_with_fewer_centroids_are_cheaper() {
+        // The paper notes the fifth iteration takes ~10 min because 60% of
+        // the centroids became aberrant: fewer centroids mean a smaller set
+        // and thus faster transfers.
+        let base = LocalCosts {
+            encrypt_set_secs: 3.0,
+            add_set_secs: 0.1,
+            decrypt_set_secs: 10.0,
+            set_bytes: 130_000,
+            bandwidth_bits_per_sec: 1_000_000.0,
+        };
+        let messages = IterationMessageCounts {
+            sum_messages_per_node: 200.0,
+            dissemination_messages_per_node: 50.0,
+            decryption_messages_per_node: 100.0,
+        };
+        let first = IterationCostModel { local: base, messages };
+        let smaller_set = LocalCosts { set_bytes: 52_000, ..base };
+        let fifth = IterationCostModel { local: smaller_set, messages };
+        assert!(fifth.iteration_seconds() < first.iteration_seconds());
+    }
+}

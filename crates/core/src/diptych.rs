@@ -1,0 +1,165 @@
+//! The Diptych data structure (Definition 6 of the paper).
+//!
+//! A Diptych pairs, for each of the `k` clusters:
+//!
+//! * a *cleartext perturbed centroid* `C[i]` — safe to reveal because it is
+//!   differentially private;
+//! * an *encrypted mean* `M[i] = (E(σ_sum), E(σ_count), ω)` — the epidemic
+//!   representation of the cluster's dimension-wise sum and cardinality,
+//!   both additively-homomorphically encrypted, with the data-independent
+//!   weight in the clear.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use chiaroscuro_crypto::encoding::FixedPointEncoder;
+use chiaroscuro_crypto::keys::PublicKey;
+use chiaroscuro_crypto::scheme::Ciphertext;
+use chiaroscuro_crypto::wire::MeansWireModel;
+use chiaroscuro_timeseries::TimeSeries;
+
+/// The encrypted-mean side of the Diptych for one cluster.
+#[derive(Debug, Clone)]
+pub struct EncryptedMean {
+    /// Encrypted dimension-wise sum of the cluster (`E(σ_sum)`, length n).
+    pub sums: Vec<Ciphertext>,
+    /// Encrypted cardinality of the cluster (`E(σ_count)`).
+    pub count: Ciphertext,
+}
+
+impl EncryptedMean {
+    /// Number of measures per mean.
+    pub fn series_length(&self) -> usize {
+        self.sums.len()
+    }
+}
+
+/// The Diptych: cleartext perturbed centroids plus encrypted means.
+#[derive(Debug, Clone)]
+pub struct Diptych {
+    /// The cleartext, differentially-private centroids `C`.
+    pub centroids: Vec<TimeSeries>,
+    /// The encrypted means `M` (one per centroid).
+    pub means: Vec<EncryptedMean>,
+}
+
+impl Diptych {
+    /// Builds a participant's initial Diptych for one iteration
+    /// (Algorithm 1, assignment step): the participant's series is encrypted
+    /// into the mean of its closest centroid, every other mean is an
+    /// encryption of zero, and counts follow (1 for the chosen cluster, 0
+    /// elsewhere).
+    pub fn initialise<R: Rng + ?Sized>(
+        centroids: &[TimeSeries],
+        local_series: &TimeSeries,
+        public_key: &Arc<PublicKey>,
+        encoder: &FixedPointEncoder,
+        rng: &mut R,
+    ) -> (Self, usize) {
+        assert!(!centroids.is_empty());
+        let n = local_series.len();
+        // Closest centroid (ties to the smallest index).
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = c.squared_distance(local_series);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let means = centroids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if i == best {
+                    EncryptedMean {
+                        sums: local_series
+                            .values()
+                            .iter()
+                            .map(|&v| public_key.encrypt(&encoder.encode(v, public_key), rng))
+                            .collect(),
+                        count: public_key.encrypt(&encoder.encode(1.0, public_key), rng),
+                    }
+                } else {
+                    EncryptedMean {
+                        sums: (0..n).map(|_| public_key.encrypt_zero(rng)).collect(),
+                        count: public_key.encrypt_zero(rng),
+                    }
+                }
+            })
+            .collect();
+        (Self { centroids: centroids.to_vec(), means }, best)
+    }
+
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The wire-size model for transferring this Diptych's encrypted side.
+    pub fn wire_model(&self, public_key: &PublicKey) -> MeansWireModel {
+        let measures = self.means.first().map(EncryptedMean::series_length).unwrap_or(0);
+        MeansWireModel::new(public_key, self.means.len(), measures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro_crypto::keys::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KeyPair, Arc<PublicKey>, FixedPointEncoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let pk = Arc::new(kp.public.clone());
+        (kp, pk, FixedPointEncoder::new(3), rng)
+    }
+
+    #[test]
+    fn initialise_assigns_to_closest_centroid() {
+        let (kp, pk, encoder, mut rng) = setup();
+        let centroids = vec![
+            TimeSeries::new(vec![0.0, 0.0]),
+            TimeSeries::new(vec![10.0, 10.0]),
+        ];
+        let series = TimeSeries::new(vec![9.0, 9.5]);
+        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        assert_eq!(assigned, 1);
+        assert_eq!(diptych.k(), 2);
+        // The assigned mean decrypts to the series values; the other decrypts to zeros.
+        for (j, &v) in series.values().iter().enumerate() {
+            let decoded = encoder.decode(&kp.secret.decrypt(&kp.public, &diptych.means[1].sums[j]), &kp.public);
+            assert!((decoded - v).abs() < 1e-3);
+            let zero = encoder.decode(&kp.secret.decrypt(&kp.public, &diptych.means[0].sums[j]), &kp.public);
+            assert!(zero.abs() < 1e-9);
+        }
+        let count1 = encoder.decode(&kp.secret.decrypt(&kp.public, &diptych.means[1].count), &kp.public);
+        let count0 = encoder.decode(&kp.secret.decrypt(&kp.public, &diptych.means[0].count), &kp.public);
+        assert!((count1 - 1.0).abs() < 1e-9);
+        assert!(count0.abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_model_counts_all_ciphertexts() {
+        let (_kp, pk, encoder, mut rng) = setup();
+        let centroids = vec![TimeSeries::zeros(4), TimeSeries::constant(4, 5.0), TimeSeries::constant(4, 9.0)];
+        let series = TimeSeries::new(vec![5.0, 5.0, 5.0, 5.0]);
+        let (diptych, _) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        let model = diptych.wire_model(&pk);
+        assert_eq!(model.ciphertexts_per_set(), 3 * (4 + 1));
+        assert!(model.set_bytes() > 0);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_index() {
+        let (_kp, pk, encoder, mut rng) = setup();
+        let centroids = vec![TimeSeries::new(vec![1.0]), TimeSeries::new(vec![3.0])];
+        let series = TimeSeries::new(vec![2.0]);
+        let (_, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        assert_eq!(assigned, 0);
+    }
+}

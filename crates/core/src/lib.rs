@@ -1,0 +1,52 @@
+//! Chiaroscuro: the fully-distributed, privacy-preserving k-means execution
+//! sequence of the SIGMOD'15 paper, built on the workspace substrates.
+//!
+//! The crate exposes:
+//!
+//! * [`config`] — the run parameters (Table 1) and the experimental defaults
+//!   (Table 2);
+//! * [`diptych`] — the Diptych data structure (Definition 6): cleartext
+//!   differentially-private centroids on one side, additively-homomorphic
+//!   encrypted means on the other;
+//! * [`evalue`] — the encrypted-mean vector as an epidemic value, i.e. the
+//!   bridge between the crypto substrate and the EESum gossip rule
+//!   (Algorithm 2);
+//! * [`participant`] — per-device state (local series, key-share, Diptych);
+//! * [`noise`] — the epidemic noise generation and surplus correction
+//!   (§4.2.2);
+//! * [`runner`] — [`runner::DistributedRun`], the end-to-end execution of
+//!   Algorithms 1 and 3 over the gossip simulator, plus
+//!   [`surrogate`] — the large-scale quality surrogate (perturbed
+//!   centralized k-means) the paper itself uses for dataset-scale quality;
+//! * [`audit`] — a security audit log asserting that nothing data-dependent
+//!   ever leaves a participant in cleartext (requirement R2);
+//! * [`cost_model`] — the per-iteration latency model of §6.3.2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod config;
+pub mod cost_model;
+pub mod diptych;
+pub mod evalue;
+pub mod noise;
+pub mod participant;
+pub mod runner;
+pub mod surrogate;
+
+pub use config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
+pub use diptych::{Diptych, EncryptedMean};
+pub use runner::{DistributedRun, RunOutcome};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::audit::{DataClass, SecurityAudit};
+    pub use crate::config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
+    pub use crate::cost_model::IterationCostModel;
+    pub use crate::diptych::{Diptych, EncryptedMean};
+    pub use crate::runner::{DistributedRun, RunOutcome};
+    pub use crate::surrogate::QualitySurrogate;
+    pub use chiaroscuro_dp::budget::BudgetStrategy;
+    pub use chiaroscuro_kmeans::perturbed::Smoothing;
+}

@@ -1,0 +1,54 @@
+//! Per-device participant state.
+
+use chiaroscuro_crypto::threshold::KeyShare;
+use chiaroscuro_timeseries::TimeSeries;
+
+/// One participating personal device.
+///
+/// A participant owns exactly one personal time-series (its local data), the
+/// public parameters it downloaded at bootstrap time, and one private
+/// key-share.  Everything else it manipulates during the execution sequence
+/// (Diptych, noise shares, counters) is transient per-iteration state held by
+/// the runner.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Participant identifier (also used as its key-share identifier in the
+    /// epidemic decryption).
+    pub id: u32,
+    /// The personal time-series, which never leaves the device in cleartext.
+    pub series: TimeSeries,
+    /// The private threshold key-share assigned at bootstrap.
+    pub key_share: KeyShare,
+}
+
+impl Participant {
+    /// Creates a participant.
+    pub fn new(id: u32, series: TimeSeries, key_share: KeyShare) -> Self {
+        Self { id, series, key_share }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro_crypto::keys::KeyPair;
+    use chiaroscuro_crypto::threshold::ThresholdDealer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn participants_hold_distinct_key_shares() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let shares = ThresholdDealer::new(&kp, 4, 2).deal(&mut rng);
+        let participants: Vec<Participant> = shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, share)| Participant::new(i as u32, TimeSeries::constant(3, i as f64), share))
+            .collect();
+        assert_eq!(participants.len(), 4);
+        for (i, p) in participants.iter().enumerate() {
+            assert_eq!(p.key_share.index(), i + 1, "share indices are 1-based");
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The end-to-end distributed execution sequence (Algorithms 1 and 3).
+//!
+//! [`DistributedRun`] simulates a population of personal devices, one per
+//! time-series, and executes the full Chiaroscuro iteration on top of the
+//! workspace substrates:
+//!
+//! 1. **Assignment step** — each participant assigns its series to the
+//!    closest cleartext (differentially-private) centroid and initialises
+//!    its encrypted means (Diptych);
+//! 2. **Computation step** —
+//!    a. the encrypted means and the encrypted noise shares are summed by
+//!       the EESum gossip protocol (Algorithm 2), alongside a cleartext
+//!       contributor counter,
+//!    b. the noise surplus correction is agreed upon by min-identifier
+//!       epidemic dissemination,
+//!    c. the perturbed encrypted means are threshold-decrypted with τ
+//!       distinct key-shares and smoothed;
+//! 3. **Convergence step** — the new perturbed centroids replace the old
+//!    ones until they converge or the iteration/budget limit is reached.
+//!
+//! Only quantities that are encrypted, differentially private, or
+//! data-independent ever cross a participant boundary; the [`crate::audit`]
+//! log records every transfer so tests can verify requirement R2.
+//!
+//! One deliberate simplification (documented in DESIGN.md): the noise
+//! surplus correction is applied to the decrypted perturbed sums rather than
+//! homomorphically before decryption.  The correction is data- and
+//! noise-independent cleartext, so the security argument (Lemma 3) is
+//! unchanged; only the ordering differs.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use chiaroscuro_crypto::encoding::FixedPointEncoder;
+use chiaroscuro_crypto::keys::{KeyPair, PublicKey};
+use chiaroscuro_crypto::scheme::Ciphertext;
+use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
+use chiaroscuro_dp::laplace::{LaplaceMechanism, Sensitivity};
+use chiaroscuro_gossip::churn::ChurnModel;
+use chiaroscuro_gossip::dissemination::{converged, DisseminationProtocol, MinIdState};
+use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesSumProtocol};
+use chiaroscuro_gossip::engine::GossipEngine;
+use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
+use chiaroscuro_kmeans::report::{IterationReport, RunReport};
+use chiaroscuro_timeseries::inertia::{dataset_inertia, intra_inertia, Assignment};
+use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet};
+
+use crate::audit::{DataClass, SecurityAudit};
+use crate::config::ChiaroscuroParams;
+use crate::diptych::Diptych;
+use crate::evalue::EncryptedVector;
+use crate::noise::{NoiseCorrection, NoiseShareVector};
+use crate::participant::Participant;
+
+/// Network-level statistics of one distributed iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationNetworkStats {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Average number of messages per participant spent on the epidemic
+    /// sums (means + noise + counter).
+    pub sum_messages_per_node: f64,
+    /// Average number of messages per participant spent on the correction
+    /// dissemination.
+    pub dissemination_messages_per_node: f64,
+    /// Gossip exchanges (rounds) executed by the epidemic sums.
+    pub sum_rounds: u32,
+}
+
+/// The outcome of a distributed Chiaroscuro run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Quality report (same shape as the centralized surrogates, so the
+    /// figures can overlay both).
+    pub report: RunReport,
+    /// Security audit of everything that left a participant.
+    pub audit: SecurityAudit,
+    /// Per-iteration network statistics.
+    pub network: Vec<IterationNetworkStats>,
+}
+
+impl RunOutcome {
+    /// The final centroids.
+    pub fn centroids(&self) -> &[TimeSeries] {
+        &self.report.final_centroids
+    }
+}
+
+/// A fully-distributed Chiaroscuro execution over a simulated population
+/// (one participant per series of the dataset).
+#[derive(Debug, Clone)]
+pub struct DistributedRun<'a> {
+    params: ChiaroscuroParams,
+    data: &'a TimeSeriesSet,
+    initial_centroids: Option<Vec<TimeSeries>>,
+}
+
+impl<'a> DistributedRun<'a> {
+    /// Creates a run over `data` (one participant per series).
+    ///
+    /// # Panics
+    /// Panics if the population is smaller than 2 or than the key-share
+    /// threshold.
+    pub fn new(params: ChiaroscuroParams, data: &'a TimeSeriesSet) -> Self {
+        params.validate();
+        assert!(data.len() >= 2, "Chiaroscuro needs at least two participants");
+        assert!(
+            params.key_share_threshold <= data.len(),
+            "the key-share threshold cannot exceed the population"
+        );
+        Self { params, data, initial_centroids: None }
+    }
+
+    /// Provides explicit initial centroids (otherwise `k` series are drawn
+    /// at random from the dataset, which the paper only does for synthetic
+    /// data).
+    pub fn with_initial_centroids(mut self, centroids: Vec<TimeSeries>) -> Self {
+        assert_eq!(centroids.len(), self.params.k, "need exactly k initial centroids");
+        for c in &centroids {
+            assert_eq!(c.len(), self.data.series_length());
+        }
+        self.initial_centroids = Some(centroids);
+        self
+    }
+
+    /// Executes the run with a seed-derived RNG.
+    pub fn execute(&self, seed: u64) -> RunOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.execute_with_rng(&mut rng)
+    }
+
+    /// Executes the run with the provided RNG.
+    pub fn execute_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> RunOutcome {
+        let params = &self.params;
+        let data = self.data;
+        let population = data.len();
+        let n = data.series_length();
+        let k = params.k;
+
+        // --- Bootstrap: key material, key-shares, initial centroids. ---
+        let keypair = KeyPair::generate(params.key_bits, params.damgard_jurik_s, rng);
+        let public_key = Arc::new(keypair.public.clone());
+        let dealer = ThresholdDealer::new(&keypair, population, params.key_share_threshold);
+        let key_shares = dealer.deal(rng);
+        let participants: Vec<Participant> = data
+            .iter()
+            .cloned()
+            .zip(key_shares)
+            .enumerate()
+            .map(|(i, (series, share))| Participant::new(i as u32, series, share))
+            .collect();
+        let encoder = FixedPointEncoder::new(params.encoding_digits);
+        let mut centroids = match &self.initial_centroids {
+            Some(c) => c.clone(),
+            None => {
+                use rand::seq::SliceRandom;
+                data.series().choose_multiple(rng, k).cloned().collect()
+            }
+        };
+        assert_eq!(centroids.len(), k, "k must not exceed the population when sampling initial centroids");
+
+        let schedule = params.budget_schedule();
+        let sensitivity = Sensitivity::from_range(n, data.range().min, data.range().max);
+        let churn = ChurnModel::new(params.churn);
+        let exchanges = params.exchanges_for(population, n).clamp(8, 48);
+
+        let mut audit = SecurityAudit::new();
+        let mut iterations = Vec::new();
+        let mut network = Vec::new();
+        let mut run_converged = false;
+
+        for iteration in 0..params.max_iterations {
+            let epsilon_i = schedule.epsilon_for_iteration(iteration);
+            if epsilon_i <= 0.0 {
+                break;
+            }
+            let mechanism =
+                LaplaceMechanism::new(sensitivity, epsilon_i).with_gossip_error_bound(params.gossip_error_bound);
+            let sum_scale = mechanism.sum_scale();
+            let count_scale = mechanism.count_scale();
+
+            // --- Assignment step: local, per participant. ---
+            let mut labels = Vec::with_capacity(population);
+            let mut contribution_vectors = Vec::with_capacity(population);
+            for participant in &participants {
+                let (diptych, assigned) =
+                    Diptych::initialise(&centroids, &participant.series, &public_key, &encoder, rng);
+                labels.push(assigned);
+                // Flatten: all sum ciphertexts (cluster-major), then all counts,
+                // then the participant's encrypted noise shares in the same layout.
+                let noise = NoiseShareVector::generate(k, n, sum_scale, count_scale, params.num_noise_shares, rng);
+                let mut flat: Vec<Ciphertext> = Vec::with_capacity(2 * k * (n + 1));
+                for mean in &diptych.means {
+                    flat.extend(mean.sums.iter().cloned());
+                }
+                for mean in &diptych.means {
+                    flat.push(mean.count.clone());
+                }
+                for share in noise.flatten() {
+                    flat.push(public_key.encrypt(&encoder.encode(share, &public_key), rng));
+                }
+                contribution_vectors.push(EncryptedVector::new(public_key.clone(), flat));
+                audit.record(iteration, "encrypted means contribution", DataClass::Encrypted);
+                audit.record(iteration, "encrypted noise shares", DataClass::Encrypted);
+                audit.record(iteration, "epidemic weight and exchange counter", DataClass::DataIndependent);
+            }
+
+            // Reporting-only PRE metrics (never exchanged between devices).
+            let assignment = assignment_from_labels(&labels, k);
+            let (exact_sums, exact_counts) = assignment.cluster_sums(data, k);
+            let exact_means: Vec<TimeSeries> = exact_sums
+                .iter()
+                .zip(exact_counts.iter())
+                .enumerate()
+                .map(|(i, (sum, &count))| if count > 0.0 { sum.scaled(1.0 / count) } else { centroids[i].clone() })
+                .collect();
+            let pre_inertia = intra_inertia(data, &exact_means, &assignment);
+
+            // --- Computation step (a): epidemic encrypted sums + counter. ---
+            let mut sum_engine = GossipEngine::new(eesum_initial_states(contribution_vectors), churn);
+            sum_engine.run_rounds(&EesSumProtocol, exchanges, rng);
+            let counter_values = vec![1.0; population];
+            let mut counter_engine = GossipEngine::new(sum_initial_states(&counter_values), churn);
+            counter_engine.run_rounds(&PushPullSum, exchanges, rng);
+            audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
+
+            // --- Computation step (b): noise surplus correction. ---
+            let counter_estimate = counter_engine
+                .nodes()
+                .iter()
+                .filter_map(|s| s.estimate())
+                .next()
+                .unwrap_or(population as f64);
+            let surplus = (counter_estimate.round() as usize).saturating_sub(params.num_noise_shares);
+            let correction_states: Vec<MinIdState<NoiseCorrection>> = (0..population)
+                .map(|_| {
+                    let correction = NoiseCorrection::generate(
+                        surplus,
+                        k,
+                        n,
+                        sum_scale,
+                        count_scale,
+                        params.num_noise_shares,
+                        rng,
+                    );
+                    MinIdState::new(correction.id, correction)
+                })
+                .collect();
+            let mut dissemination_engine = GossipEngine::new(correction_states, churn);
+            dissemination_engine.run_until(&DisseminationProtocol, exchanges, rng, converged);
+            audit.record(iteration, "noise correction proposal", DataClass::DataIndependent);
+            let winning_correction = dissemination_engine.nodes()[0].payload.clone();
+
+            // --- Computation step (c): perturbation and threshold decryption. ---
+            // Reference participant: any node whose weight has spread.
+            let reference = sum_engine
+                .nodes()
+                .iter()
+                .position(|s| s.weight > 0.0)
+                .expect("after the epidemic sum at least one node holds the weight");
+            let reference_state = &sum_engine.nodes()[reference];
+            let weight = reference_state.weight;
+            let entries = k * (n + 1);
+            // Perturbed encrypted means: means part + noise part (same epidemic
+            // scaling because they travelled in the same vector).
+            let perturbed: Vec<Ciphertext> = (0..entries)
+                .map(|i| {
+                    public_key.add(
+                        &reference_state.value.ciphertexts()[i],
+                        &reference_state.value.ciphertexts()[entries + i],
+                    )
+                })
+                .collect();
+            // τ distinct participants apply their key-shares.
+            let decrypted: Vec<f64> = perturbed
+                .iter()
+                .map(|ciphertext| {
+                    let partials: Vec<PartialDecryption> = participants[..params.key_share_threshold]
+                        .iter()
+                        .map(|p| p.key_share.partial_decrypt(&public_key, ciphertext))
+                        .collect();
+                    let plain = combine(&public_key, &partials, params.key_share_threshold, population)
+                        .expect("threshold decryption with exactly tau distinct shares");
+                    encoder.decode(&plain, &public_key) / weight
+                })
+                .collect();
+            audit.record(iteration, "partial decryptions of perturbed means", DataClass::DifferentiallyPrivate);
+
+            // Rebuild the perturbed means, apply the correction and smoothing.
+            let mut new_centroids = Vec::with_capacity(k);
+            let mut aberrant = vec![false; k];
+            for cluster in 0..k {
+                let mut sum_values: Vec<f64> = decrypted[cluster * n..(cluster + 1) * n].to_vec();
+                let mut count_value = decrypted[k * n + cluster];
+                if surplus > 0 {
+                    for (j, value) in sum_values.iter_mut().enumerate() {
+                        *value -= winning_correction.sum_correction[cluster * n + j];
+                    }
+                    count_value -= winning_correction.count_correction[cluster];
+                }
+                let mean = if count_value.abs() < 0.5 {
+                    aberrant[cluster] = true;
+                    aberrant_centroid(n, data.range().max, cluster)
+                } else {
+                    let mut mean = TimeSeries::new(sum_values.iter().map(|v| v / count_value).collect());
+                    mean = params.smoothing.apply(&mean);
+                    mean
+                };
+                new_centroids.push(mean);
+            }
+            audit.record(iteration, "perturbed cleartext centroids", DataClass::DifferentiallyPrivate);
+
+            let post_inertia =
+                chiaroscuro_kmeans::perturbed::post_perturbation_inertia(data, &new_centroids, &assignment, &aberrant);
+            iterations.push(IterationReport {
+                iteration,
+                epsilon: epsilon_i,
+                pre_inertia,
+                post_inertia,
+                surviving_centroids: assignment.non_empty_clusters(),
+                participating_series: population,
+            });
+            network.push(IterationNetworkStats {
+                iteration,
+                sum_messages_per_node: sum_engine.metrics().messages_per_node(population)
+                    + counter_engine.metrics().messages_per_node(population),
+                dissemination_messages_per_node: dissemination_engine.metrics().messages_per_node(population),
+                sum_rounds: sum_engine.metrics().rounds(),
+            });
+
+            // --- Convergence step. ---
+            let displacement: f64 = centroids.iter().zip(new_centroids.iter()).map(|(c, m)| c.distance(m)).sum();
+            centroids = new_centroids;
+            if displacement <= params.convergence_threshold {
+                run_converged = true;
+                break;
+            }
+        }
+
+        RunOutcome {
+            report: RunReport {
+                iterations,
+                final_centroids: centroids,
+                converged: run_converged,
+                dataset_inertia: dataset_inertia(data),
+            },
+            audit,
+            network,
+        }
+    }
+}
+
+/// Builds an [`Assignment`] from per-participant labels.
+fn assignment_from_labels(labels: &[usize], k: usize) -> Assignment {
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    Assignment { labels: labels.to_vec(), sizes }
+}
+
+/// Same far-away sentinel as the centralized surrogate (footnote 8): an
+/// aberrant mean that will attract no series at the next iteration.
+fn aberrant_centroid(series_length: usize, range_max: f64, cluster: usize) -> TimeSeries {
+    TimeSeries::constant(series_length, range_max * 1e6 * (cluster + 2) as f64)
+}
+
+/// Re-export used by tests and benches to check the wire model of a Diptych
+/// without running a whole iteration.
+pub fn diptych_wire_kilobytes(public_key: &PublicKey, k: usize, series_length: usize) -> f64 {
+    chiaroscuro_crypto::wire::MeansWireModel::new(public_key, k, series_length).set_kilobytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChiaroscuroParams;
+    use chiaroscuro_dp::budget::BudgetStrategy;
+    use chiaroscuro_timeseries::datasets::{cer::CerLikeGenerator, DatasetGenerator};
+    use chiaroscuro_timeseries::ValueRange;
+
+    fn tiny_dataset(population: usize) -> TimeSeriesSet {
+        // Two well-separated constant profiles so clustering is unambiguous.
+        let series = (0..population)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TimeSeries::constant(4, 10.0)
+                } else {
+                    TimeSeries::constant(4, 70.0)
+                }
+            })
+            .collect();
+        TimeSeriesSet::new(series, ValueRange::new(0.0, 80.0))
+    }
+
+    fn tiny_params(k: usize, iterations: usize) -> ChiaroscuroParams {
+        ChiaroscuroParams::builder()
+            .k(k)
+            .max_iterations(iterations)
+            .key_bits(256)
+            .key_share_threshold(3)
+            .num_noise_shares(16)
+            .exchanges(12)
+            .strategy(BudgetStrategy::UniformFast { max_iterations: iterations })
+            .epsilon(50.0) // large ε so the tiny population is not drowned in noise
+            .build()
+    }
+
+    #[test]
+    fn end_to_end_distributed_run_recovers_cluster_structure() {
+        let data = tiny_dataset(16);
+        let params = tiny_params(2, 2);
+        let outcome = DistributedRun::new(params, &data)
+            .with_initial_centroids(vec![TimeSeries::constant(4, 20.0), TimeSeries::constant(4, 60.0)])
+            .execute(7);
+        assert_eq!(outcome.report.num_iterations(), 2);
+        // With a generous ε the two centroids must stay near 10 and 70.
+        let centroids = outcome.centroids();
+        let mut means: Vec<f64> = centroids.iter().map(|c| c.mean()).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 10.0).abs() < 8.0, "low centroid at {}", means[0]);
+        assert!((means[1] - 70.0).abs() < 8.0, "high centroid at {}", means[1]);
+        // Both clusters survived.
+        assert_eq!(outcome.report.iterations.last().unwrap().surviving_centroids, 2);
+    }
+
+    #[test]
+    fn audit_never_contains_raw_personal_data() {
+        let data = tiny_dataset(12);
+        let params = tiny_params(2, 1);
+        let outcome = DistributedRun::new(params, &data).execute(3);
+        assert!(!outcome.audit.leaked_raw_data());
+        assert!(outcome.audit.count(DataClass::Encrypted) > 0);
+        assert!(outcome.audit.count(DataClass::DifferentiallyPrivate) > 0);
+        assert!(outcome.audit.count(DataClass::DataIndependent) > 0);
+    }
+
+    #[test]
+    fn network_stats_are_recorded_per_iteration() {
+        let data = tiny_dataset(12);
+        let params = tiny_params(2, 2);
+        let outcome = DistributedRun::new(params, &data).execute(11);
+        assert_eq!(outcome.network.len(), outcome.report.num_iterations());
+        for stats in &outcome.network {
+            assert!(stats.sum_messages_per_node > 0.0);
+            assert!(stats.sum_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let data = tiny_dataset(12);
+        let mut params = tiny_params(2, 3);
+        params.epsilon = 1.0;
+        let outcome = DistributedRun::new(params, &data).execute(5);
+        assert!(outcome.report.total_epsilon() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn runs_on_generated_cer_profiles() {
+        let data = CerLikeGenerator::new(3).generate(20);
+        let params = ChiaroscuroParams::builder()
+            .k(3)
+            .max_iterations(1)
+            .key_bits(256)
+            .key_share_threshold(3)
+            .num_noise_shares(20)
+            .exchanges(10)
+            .epsilon(100.0)
+            .build();
+        let outcome = DistributedRun::new(params, &data).execute(13);
+        assert_eq!(outcome.report.num_iterations(), 1);
+        assert!(outcome.report.iterations[0].pre_inertia <= outcome.report.dataset_inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two participants")]
+    fn single_participant_rejected() {
+        let series = vec![TimeSeries::constant(4, 1.0)];
+        let data = TimeSeriesSet::new(series, ValueRange::new(0.0, 80.0));
+        let params = tiny_params(1, 1);
+        let _ = DistributedRun::new(params, &data);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold cannot exceed")]
+    fn threshold_larger_than_population_rejected() {
+        let data = tiny_dataset(4);
+        let params = ChiaroscuroParams::builder().k(2).key_share_threshold(10).build();
+        let _ = DistributedRun::new(params, &data);
+    }
+}

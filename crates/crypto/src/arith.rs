@@ -1,0 +1,227 @@
+//! Modular-arithmetic helpers shared by the encryption scheme and the
+//! threshold machinery.
+
+use num_bigint::{BigInt, BigUint};
+use num_integer::Integer;
+use num_traits::{One, Signed, Zero};
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &BigInt, b: &BigInt) -> (BigInt, BigInt, BigInt) {
+    if b.is_zero() {
+        return (a.clone(), BigInt::one(), BigInt::zero());
+    }
+    let (g, x, y) = extended_gcd(b, &(a % b));
+    (g, y.clone(), x - (a / b) * y)
+}
+
+/// Modular inverse of `a` modulo `m`, if it exists.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    let a = BigInt::from(a.clone());
+    let m_int = BigInt::from(m.clone());
+    let (g, x, _) = extended_gcd(&a, &m_int);
+    if !g.is_one() {
+        return None;
+    }
+    let mut x = x % &m_int;
+    if x.is_negative() {
+        x += &m_int;
+    }
+    Some(x.to_biguint().expect("non-negative by construction"))
+}
+
+/// Least common multiple of two positive integers.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    a / a.gcd(b) * b
+}
+
+/// `value!` as a big integer.
+pub fn factorial(value: usize) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=value {
+        acc *= BigUint::from(i);
+    }
+    acc
+}
+
+/// Raises `base` to a possibly *negative* exponent modulo `modulus`.
+///
+/// A negative exponent requires `base` to be invertible modulo `modulus`.
+///
+/// # Panics
+/// Panics if the exponent is negative and `base` is not invertible.
+pub fn modpow_signed(base: &BigUint, exponent: &BigInt, modulus: &BigUint) -> BigUint {
+    if exponent.is_negative() {
+        let inv = mod_inverse(base, modulus).expect("base must be invertible for negative exponents");
+        let positive = (-exponent).to_biguint().expect("positive");
+        inv.modpow(&positive, modulus)
+    } else {
+        let positive = exponent.to_biguint().expect("non-negative");
+        base.modpow(&positive, modulus)
+    }
+}
+
+/// The Damgård–Jurik discrete-log extraction: given
+/// `a = (1 + n)^x mod n^{s+1}` with `0 ≤ x < n^s`, recovers `x`.
+///
+/// This is Theorem 1 of Damgård & Jurik (PKC 2001); for `s = 1` it reduces
+/// to Paillier's `L(u) = (u − 1)/n`.
+pub fn extract_plaintext(a: &BigUint, n: &BigUint, s: u32) -> BigUint {
+    let mut powers = Vec::with_capacity(s as usize + 2);
+    let mut acc = BigUint::one();
+    for _ in 0..=(s + 1) {
+        powers.push(acc.clone());
+        acc *= n;
+    }
+    // powers[j] = n^j.
+    let l = |u: &BigUint, j: usize| -> BigUint {
+        // L_j(u) = (u - 1) / n, computed modulo n^{j+1} first.
+        let reduced = u % &powers[j + 1];
+        (reduced - BigUint::one()) / n
+    };
+
+    let mut i = BigUint::zero();
+    for j in 1..=(s as usize) {
+        let n_j = &powers[j];
+        let mut t1 = l(a, j) % n_j;
+        let mut t2 = i.clone();
+        let mut k_factorial = BigUint::one();
+        for k in 2..=j {
+            // i := i - 1 (well-defined: i >= 1 whenever this loop runs).
+            i = (i + n_j - BigUint::one()) % n_j;
+            t2 = (&t2 * &i) % n_j;
+            k_factorial *= BigUint::from(k);
+            // t1 := t1 - t2 * n^{k-1} / k!   (mod n^j)
+            let inv_kfact = mod_inverse(&(&k_factorial % n_j), n_j).expect("k! invertible mod n^j");
+            let term = (&t2 * &powers[k - 1]) % n_j * inv_kfact % n_j;
+            t1 = (t1 + n_j - term) % n_j;
+        }
+        i = t1;
+    }
+    i
+}
+
+/// The integer Lagrange coefficient `Δ · ∏_{j ∈ subset, j ≠ index} j / (j − index)`
+/// evaluated at 0, where `Δ = ℓ!`.  The factor Δ clears every denominator so
+/// the result is an exact integer (Shoup's trick, reused by Damgård–Jurik
+/// threshold decryption).
+///
+/// `subset` holds the 1-based share indices participating in the
+/// reconstruction; `index` must belong to it.
+pub fn lagrange_at_zero(index: usize, subset: &[usize], delta: &BigUint) -> BigInt {
+    assert!(subset.contains(&index), "index must be part of the reconstruction subset");
+    let mut numerator = BigInt::from(delta.clone());
+    let mut denominator = BigInt::one();
+    for &j in subset {
+        if j == index {
+            continue;
+        }
+        numerator *= BigInt::from(j);
+        denominator *= BigInt::from(j as i64 - index as i64);
+    }
+    let (q, r) = numerator.div_rem(&denominator);
+    assert!(r.is_zero(), "Δ must clear the Lagrange denominator exactly");
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_bigint::RandBigInt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mod_inverse_round_trip() {
+        let m = BigUint::from(97u32);
+        for a in 1u32..97 {
+            let a = BigUint::from(a);
+            let inv = mod_inverse(&a, &m).unwrap();
+            assert_eq!((a * inv) % &m, BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_fails_for_non_coprime() {
+        assert!(mod_inverse(&BigUint::from(6u32), &BigUint::from(9u32)).is_none());
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(&BigUint::from(4u32), &BigUint::from(6u32)), BigUint::from(12u32));
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), BigUint::one());
+        assert_eq!(factorial(1), BigUint::one());
+        assert_eq!(factorial(5), BigUint::from(120u32));
+        assert_eq!(factorial(10), BigUint::from(3_628_800u32));
+    }
+
+    #[test]
+    fn modpow_signed_negative_exponent() {
+        let modulus = BigUint::from(101u32);
+        let base = BigUint::from(7u32);
+        let neg = modpow_signed(&base, &BigInt::from(-3), &modulus);
+        let pos = base.modpow(&BigUint::from(3u32), &modulus);
+        assert_eq!((neg * pos) % modulus, BigUint::one());
+    }
+
+    #[test]
+    fn extract_plaintext_paillier_case() {
+        // s = 1: a = (1+n)^x mod n^2, recover x.
+        let n = BigUint::from(187u32); // 11 * 17, plenty for the identity (1+n)^x = 1 + xn mod n^2.
+        let n2 = &n * &n;
+        let g = &n + BigUint::one();
+        for x in [0u32, 1, 5, 42, 100, 186] {
+            let a = g.modpow(&BigUint::from(x), &n2);
+            assert_eq!(extract_plaintext(&a, &n, 1), BigUint::from(x));
+        }
+    }
+
+    #[test]
+    fn extract_plaintext_general_s() {
+        // s = 2 and s = 3 with a modest modulus and random exponents.
+        let n = BigUint::from(35u32 * 3u32 + 2u32); // 107, prime — not an RSA modulus but gcd(k!, n)=1 holds.
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in 2u32..=3 {
+            let n_s = n.pow(s);
+            let n_s1 = n.pow(s + 1);
+            let g = &n + BigUint::one();
+            for _ in 0..20 {
+                let x = rng.gen_biguint_below(&n_s);
+                let a = g.modpow(&x, &n_s1);
+                assert_eq!(extract_plaintext(&a, &n, s), x, "failed for s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_coefficients_reconstruct_constant_polynomial() {
+        // f(x) = 7 (degree 0) shared at points 1..=5; any subset reconstructs
+        // Δ·7 at zero when coefficients are summed.
+        let delta = factorial(5);
+        let subset = vec![2usize, 4, 5];
+        let mut acc = BigInt::zero();
+        for &i in &subset {
+            let coeff = lagrange_at_zero(i, &subset, &delta);
+            acc += coeff * BigInt::from(7);
+        }
+        assert_eq!(acc, BigInt::from(delta) * BigInt::from(7));
+    }
+
+    #[test]
+    fn lagrange_coefficients_reconstruct_linear_polynomial() {
+        // f(x) = 3 + 2x shared at x = 1..=4, threshold 2: any 2 points give
+        // Σ λ_i f(i) = Δ · f(0) = Δ · 3.
+        let delta = factorial(4);
+        let f = |x: usize| BigInt::from(3 + 2 * x as i64);
+        for subset in [vec![1usize, 2], vec![1, 3], vec![2, 4], vec![3, 4]] {
+            let mut acc = BigInt::zero();
+            for &i in &subset {
+                acc += lagrange_at_zero(i, &subset, &delta) * f(i);
+            }
+            assert_eq!(acc, BigInt::from(delta.clone()) * BigInt::from(3), "subset {subset:?}");
+        }
+    }
+}

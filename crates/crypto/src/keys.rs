@@ -1,0 +1,215 @@
+//! Key material for the Damgård–Jurik scheme.
+//!
+//! The public key is `χ = (n, g)` with `n = p·q` an RSA modulus and
+//! `g = 1 + n` (the standard choice, which makes the discrete logarithm of
+//! `(1+n)^x` efficiently extractable).  The computation space is
+//! `Z*_{n^{s+1}}` and the plaintext space `Z_{n^s}` (§3.3.1).
+//!
+//! For threshold decryption the scheme uses the exponent `d` determined by
+//! the Chinese Remainder Theorem as `d ≡ 0 (mod λ)` and `d ≡ 1 (mod n^s)`,
+//! where `λ = lcm(p−1, q−1)`: raising a ciphertext to the power `d` strips
+//! the random mask and leaves `(1+n)^m`, whatever the plaintext `m`.
+
+use num_bigint::BigUint;
+use num_traits::One;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::arith::{lcm, mod_inverse};
+use crate::primes::generate_prime_pair;
+
+/// The public encryption key `χ = (n, g)` plus the precomputed powers of `n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    n: BigUint,
+    s: u32,
+    n_s: BigUint,
+    n_s1: BigUint,
+    g: BigUint,
+    key_bits: u64,
+}
+
+impl PublicKey {
+    pub(crate) fn new(n: BigUint, s: u32, key_bits: u64) -> Self {
+        assert!(s >= 1, "the Damgard-Jurik exponent s must be at least 1");
+        let n_s = n.pow(s);
+        let n_s1 = &n_s * &n;
+        let g = &n + BigUint::one();
+        Self { n, s, n_s, n_s1, g, key_bits }
+    }
+
+    /// The RSA modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The Damgård–Jurik exponent `s` (s = 1 is plain Paillier).
+    pub fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// The plaintext modulus `n^s`.
+    pub fn plaintext_modulus(&self) -> &BigUint {
+        &self.n_s
+    }
+
+    /// The ciphertext modulus `n^{s+1}`.
+    pub fn ciphertext_modulus(&self) -> &BigUint {
+        &self.n_s1
+    }
+
+    /// The generator `g = 1 + n`.
+    pub fn generator(&self) -> &BigUint {
+        &self.g
+    }
+
+    /// The nominal key size in bits (the size of `n`), e.g. 1024 in the
+    /// paper's experiments.
+    pub fn key_bits(&self) -> u64 {
+        self.key_bits
+    }
+
+    /// The size of one ciphertext in bytes (an element of `Z_{n^{s+1}}`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        ((self.n_s1.bits() + 7) / 8) as usize
+    }
+}
+
+/// The secret key: the factorisation of `n` and the derived exponents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey {
+    p: BigUint,
+    q: BigUint,
+    lambda: BigUint,
+    /// CRT-combined decryption exponent: `d ≡ 0 (mod λ)`, `d ≡ 1 (mod n^s)`.
+    d: BigUint,
+}
+
+impl SecretKey {
+    /// The Carmichael value `λ = lcm(p−1, q−1)`.
+    pub fn lambda(&self) -> &BigUint {
+        &self.lambda
+    }
+
+    /// The threshold decryption exponent `d`.
+    pub fn d(&self) -> &BigUint {
+        &self.d
+    }
+
+    /// The secret-sharing modulus `n^s · λ` used by the Shamir dealer.
+    pub fn sharing_modulus(&self, pk: &PublicKey) -> BigUint {
+        pk.plaintext_modulus() * &self.lambda
+    }
+}
+
+/// A freshly generated key pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    /// The public key, distributed to every participant.
+    pub public: PublicKey,
+    /// The secret key, held only by the trusted dealer that creates the
+    /// key-shares (the paper's bootstrap server).
+    pub secret: SecretKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair with an RSA modulus of `modulus_bits` bits and
+    /// Damgård–Jurik exponent `s`.
+    ///
+    /// The paper uses 1024-bit keys ("average security"); tests use smaller
+    /// moduli to stay fast.
+    ///
+    /// # Panics
+    /// Panics if `modulus_bits < 16` or `s == 0`.
+    pub fn generate<R: Rng + ?Sized>(modulus_bits: u64, s: u32, rng: &mut R) -> Self {
+        assert!(modulus_bits >= 16, "modulus must be at least 16 bits");
+        assert!(s >= 1);
+        let (p, q) = generate_prime_pair(modulus_bits / 2, rng);
+        let n = &p * &q;
+        let public = PublicKey::new(n, s, modulus_bits);
+        let one = BigUint::one();
+        let lambda = lcm(&(&p - &one), &(&q - &one));
+        let d = crt_combine(&lambda, public.plaintext_modulus());
+        let secret = SecretKey { p, q, lambda, d };
+        Self { public, secret }
+    }
+}
+
+/// Finds `d` with `d ≡ 0 (mod λ)` and `d ≡ 1 (mod n^s)` via the CRT:
+/// `d = λ · (λ⁻¹ mod n^s)`.
+fn crt_combine(lambda: &BigUint, n_s: &BigUint) -> BigUint {
+    let lambda_inv = mod_inverse(&(lambda % n_s), n_s)
+        .expect("gcd(lambda, n^s) = 1 because p, q are large primes");
+    lambda * lambda_inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_integer::Integer;
+    use num_traits::Zero;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keypair(seed: u64, s: u32) -> KeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyPair::generate(128, s, &mut rng)
+    }
+
+    #[test]
+    fn generator_is_one_plus_n() {
+        let kp = small_keypair(1, 1);
+        assert_eq!(kp.public.generator(), &(kp.public.modulus() + BigUint::one()));
+    }
+
+    #[test]
+    fn moduli_are_consistent_powers() {
+        let kp = small_keypair(2, 2);
+        let n = kp.public.modulus().clone();
+        assert_eq!(kp.public.plaintext_modulus(), &n.pow(2));
+        assert_eq!(kp.public.ciphertext_modulus(), &n.pow(3));
+    }
+
+    #[test]
+    fn d_satisfies_both_congruences() {
+        for s in 1..=2u32 {
+            let kp = small_keypair(3 + s as u64, s);
+            let d = kp.secret.d();
+            assert!((d % kp.secret.lambda()).is_zero(), "d must be 0 mod lambda");
+            assert_eq!(d % kp.public.plaintext_modulus(), BigUint::one(), "d must be 1 mod n^s");
+        }
+    }
+
+    #[test]
+    fn lambda_divides_order() {
+        // For any unit a, a^(n·λ) ≡ 1 mod n^2 (Carmichael for Z*_{n^2}).
+        let kp = small_keypair(5, 1);
+        let n = kp.public.modulus();
+        let n2 = kp.public.ciphertext_modulus();
+        let exponent = n * kp.secret.lambda();
+        for base in [2u32, 3, 7, 12_345] {
+            let base = BigUint::from(base);
+            if base.gcd(n) == BigUint::one() {
+                assert_eq!(base.modpow(&exponent, n2), BigUint::one());
+            }
+        }
+    }
+
+    #[test]
+    fn ciphertext_bytes_scale_with_s() {
+        let kp1 = small_keypair(6, 1);
+        let kp2 = small_keypair(6, 2);
+        assert!(kp2.public.ciphertext_bytes() > kp1.public.ciphertext_bytes());
+        // s = 1: ciphertext lives in Z_{n^2}, about twice the key size.
+        let expected = (2 * 128) / 8;
+        let got = kp1.public.ciphertext_bytes();
+        assert!((got as i64 - expected as i64).abs() <= 1, "got {got}, expected about {expected}");
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_moduli() {
+        let a = small_keypair(7, 1);
+        let b = small_keypair(8, 1);
+        assert_ne!(a.public.modulus(), b.public.modulus());
+    }
+}

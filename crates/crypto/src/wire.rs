@@ -1,0 +1,159 @@
+//! Wire-size model for encrypted Diptych payloads (Figure 5(b)).
+//!
+//! A gossip exchange transfers a whole set of encrypted means.  Each mean
+//! consists of `n` encrypted sum components plus one encrypted count, plus a
+//! cleartext weight and exchange counter.  This module computes the payload
+//! sizes that the bandwidth figure reports, and provides a helper that
+//! serialises ciphertexts to bytes so the model can be cross-checked against
+//! actual encodings.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use num_bigint::BigUint;
+use serde::{Deserialize, Serialize};
+
+use crate::keys::PublicKey;
+use crate::scheme::Ciphertext;
+
+/// Size model for one set of encrypted means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeansWireModel {
+    /// Number of means (k, the number of clusters).
+    pub num_means: usize,
+    /// Number of measures per mean (the series length n).
+    pub measures_per_mean: usize,
+    /// Size in bytes of one ciphertext (an element of `Z_{n^{s+1}}`).
+    pub ciphertext_bytes: usize,
+    /// Size in bytes of the cleartext per-mean metadata (weight + exchange
+    /// counter, both 8-byte values).
+    pub cleartext_bytes_per_mean: usize,
+}
+
+impl MeansWireModel {
+    /// Builds the model from a public key and the clustering dimensions.
+    pub fn new(pk: &PublicKey, num_means: usize, measures_per_mean: usize) -> Self {
+        Self {
+            num_means,
+            measures_per_mean,
+            ciphertext_bytes: pk.ciphertext_bytes(),
+            cleartext_bytes_per_mean: 16,
+        }
+    }
+
+    /// Number of ciphertexts in one set of means: `k · (n + 1)` (sums plus
+    /// the count).
+    pub fn ciphertexts_per_set(&self) -> usize {
+        self.num_means * (self.measures_per_mean + 1)
+    }
+
+    /// Total size in bytes of one set of encrypted means.
+    pub fn set_bytes(&self) -> usize {
+        self.ciphertexts_per_set() * self.ciphertext_bytes + self.num_means * self.cleartext_bytes_per_mean
+    }
+
+    /// Total size in kilobytes (the unit of Figure 5(b)).
+    pub fn set_kilobytes(&self) -> f64 {
+        self.set_bytes() as f64 / 1_000.0
+    }
+
+    /// Bytes transferred by one epidemic-sum exchange (both directions:
+    /// each peer sends its set of means).
+    pub fn sum_exchange_bytes(&self) -> usize {
+        2 * self.set_bytes()
+    }
+
+    /// Bytes transferred by one epidemic-decryption exchange (the paper
+    /// counts the encrypted means plus their partially decrypted version —
+    /// the equivalent of four sets, §6.3.1).
+    pub fn decryption_exchange_bytes(&self) -> usize {
+        4 * self.set_bytes()
+    }
+}
+
+/// Serialises a ciphertext as a length-prefixed big-endian byte string.
+pub fn serialize_ciphertext(c: &Ciphertext) -> Bytes {
+    let raw = c.raw().to_bytes_be();
+    let mut buf = BytesMut::with_capacity(raw.len() + 4);
+    buf.put_u32(raw.len() as u32);
+    buf.put_slice(&raw);
+    buf.freeze()
+}
+
+/// Deserialises a ciphertext produced by [`serialize_ciphertext`].
+///
+/// Returns `None` if the buffer is malformed.
+pub fn deserialize_ciphertext(bytes: &[u8]) -> Option<Ciphertext> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if bytes.len() != 4 + len {
+        return None;
+    }
+    Some(Ciphertext::from_raw(BigUint::from_bytes_be(&bytes[4..])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_setting_is_order_hundreds_of_kilobytes() {
+        // Paper setting: 50 means, 20 measures, 1024-bit key.  The paper
+        // reports ~125-145 kB; a Paillier ciphertext is 2x the modulus, so
+        // our model gives about twice that (see EXPERIMENTS.md).
+        let model = MeansWireModel {
+            num_means: 50,
+            measures_per_mean: 20,
+            ciphertext_bytes: 256, // 2048-bit ciphertexts for a 1024-bit key
+            cleartext_bytes_per_mean: 16,
+        };
+        assert_eq!(model.ciphertexts_per_set(), 1_050);
+        let kb = model.set_kilobytes();
+        assert!(kb > 200.0 && kb < 300.0, "kb = {kb}");
+        assert_eq!(model.sum_exchange_bytes(), 2 * model.set_bytes());
+        assert_eq!(model.decryption_exchange_bytes(), 4 * model.set_bytes());
+    }
+
+    #[test]
+    fn model_matches_real_ciphertext_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(256, 1, &mut rng);
+        let model = MeansWireModel::new(&kp.public, 5, 4);
+        let c = kp.public.encrypt(&BigUint::from(123u32), &mut rng);
+        // The serialised ciphertext (minus the 4-byte length prefix) must not
+        // exceed the model's per-ciphertext size.
+        let serialized = serialize_ciphertext(&c);
+        assert!(serialized.len() - 4 <= model.ciphertext_bytes);
+        assert!(serialized.len() - 4 >= model.ciphertext_bytes - 2);
+    }
+
+    #[test]
+    fn ciphertext_serialization_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let m = BigUint::from(9_999u32);
+        let c = kp.public.encrypt(&m, &mut rng);
+        let bytes = serialize_ciphertext(&c);
+        let back = deserialize_ciphertext(&bytes).unwrap();
+        assert_eq!(kp.secret.decrypt(&kp.public, &back), m);
+    }
+
+    #[test]
+    fn malformed_buffers_rejected() {
+        assert!(deserialize_ciphertext(&[]).is_none());
+        assert!(deserialize_ciphertext(&[0, 0, 0, 10, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn larger_keys_mean_larger_payloads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = KeyPair::generate(128, 1, &mut rng);
+        let large = KeyPair::generate(256, 1, &mut rng);
+        let m_small = MeansWireModel::new(&small.public, 50, 20);
+        let m_large = MeansWireModel::new(&large.public, 50, 20);
+        assert!(m_large.set_bytes() > m_small.set_bytes());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the homomorphic threshold encryption substrate.
+//!
+//! Key generation is expensive, so the tests share a handful of lazily
+//! generated key pairs and vary plaintexts, scalars and share subsets.
+
+use std::sync::OnceLock;
+
+use chiaroscuro_crypto::encoding::FixedPointEncoder;
+use chiaroscuro_crypto::keys::KeyPair;
+use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
+use num_bigint::BigUint;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keypair() -> &'static KeyPair {
+    static KP: OnceLock<KeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        KeyPair::generate(160, 1, &mut rng)
+    })
+}
+
+fn keypair_s2() -> &'static KeyPair {
+    static KP: OnceLock<KeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        KeyPair::generate(128, 2, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encrypt_decrypt_round_trip(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::from(m);
+        let c = kp.public.encrypt(&m, &mut rng);
+        prop_assert_eq!(kp.secret.decrypt(&kp.public, &c), m);
+    }
+
+    #[test]
+    fn homomorphic_addition_matches_plaintext_addition(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (BigUint::from(a), BigUint::from(b));
+        let sum = kp.public.add(&kp.public.encrypt(&a, &mut rng), &kp.public.encrypt(&b, &mut rng));
+        prop_assert_eq!(kp.secret.decrypt(&kp.public, &sum), (&a + &b) % kp.public.plaintext_modulus());
+    }
+
+    #[test]
+    fn scalar_multiplication_matches(m in any::<u32>(), k in 0u32..10_000, seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public.encrypt(&BigUint::from(m), &mut rng);
+        let scaled = kp.public.scalar_mul(&c, &BigUint::from(k));
+        prop_assert_eq!(
+            kp.secret.decrypt(&kp.public, &scaled),
+            (BigUint::from(m) * BigUint::from(k)) % kp.public.plaintext_modulus()
+        );
+    }
+
+    #[test]
+    fn scale_pow2_is_multiplication_by_power_of_two(m in any::<u32>(), e in 0u32..20, seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public.encrypt(&BigUint::from(m), &mut rng);
+        let scaled = kp.public.scale_pow2(&c, e);
+        prop_assert_eq!(
+            kp.secret.decrypt(&kp.public, &scaled),
+            BigUint::from(m) << e
+        );
+    }
+
+    #[test]
+    fn general_s_round_trip(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair_s2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Stretch the plaintext above n to exercise the s = 2 extraction.
+        let m = BigUint::from(m) * kp.public.modulus() / BigUint::from(3u32);
+        let c = kp.public.encrypt(&m, &mut rng);
+        prop_assert_eq!(kp.secret.decrypt(&kp.public, &c), m);
+    }
+
+    #[test]
+    fn threshold_combination_from_any_subset(
+        m in any::<u32>(),
+        subset_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dealer = ThresholdDealer::new(kp, 8, 3);
+        let shares = dealer.deal(&mut rng);
+        let m = BigUint::from(m);
+        let c = kp.public.encrypt(&m, &mut rng);
+        // Pick 3 distinct share indices from the subset seed.
+        let mut pick_rng = StdRng::seed_from_u64(subset_seed);
+        let mut indices: Vec<usize> = (0..8).collect();
+        use rand::seq::SliceRandom;
+        indices.shuffle(&mut pick_rng);
+        let partials: Vec<PartialDecryption> = indices[..3]
+            .iter()
+            .map(|&i| shares[i].partial_decrypt(&kp.public, &c))
+            .collect();
+        prop_assert_eq!(combine(&kp.public, &partials, 3, 8).unwrap(), m);
+    }
+
+    #[test]
+    fn fixed_point_encoding_round_trips(v in -1.0e9f64..1.0e9, digits in 0u32..7) {
+        let kp = keypair();
+        let enc = FixedPointEncoder::new(digits);
+        let decoded = enc.decode(&enc.encode(v, &kp.public), &kp.public);
+        let tolerance = 0.51 / 10f64.powi(digits as i32) + v.abs() * 1e-12;
+        prop_assert!((decoded - v).abs() <= tolerance, "{} -> {} (digits {})", v, decoded, digits);
+    }
+
+    #[test]
+    fn fixed_point_sums_commute_with_encoding(
+        values in prop::collection::vec(-1.0e5f64..1.0e5, 1..20),
+    ) {
+        let kp = keypair();
+        let enc = FixedPointEncoder::new(3);
+        let mut acc = BigUint::from(0u32);
+        for &v in &values {
+            acc = (acc + enc.encode(v, &kp.public)) % kp.public.plaintext_modulus();
+        }
+        let decoded = enc.decode(&acc, &kp.public);
+        let expected: f64 = values.iter().sum();
+        prop_assert!((decoded - expected).abs() < 1e-2 * values.len() as f64);
+    }
+}

@@ -1,0 +1,40 @@
+//! Differential-privacy substrate for the Chiaroscuro reproduction.
+//!
+//! This crate implements the privacy machinery of §3.3.2 and Appendix B of
+//! the paper:
+//!
+//! * [`laplace`] — the Laplace distribution and the Laplace mechanism
+//!   (Definition 4) calibrated to the sum sensitivity;
+//! * [`gamma`] — Gamma sampling (Marsaglia–Tsang plus the Ahrens–Dieter
+//!   boost for shapes < 1), the building block of noise shares;
+//! * [`noise_share`] — infinitely-divisible Laplace noise (Lemma 1 /
+//!   Definition 5): each participant draws a small Gamma-difference share and
+//!   the epidemic sum of `nν` shares is a Laplace variable;
+//! * [`budget`] — the privacy-budget concentration strategies of §5.1
+//!   (GREEDY, GREEDY_FLOOR, UNIFORM_FAST) expressed as per-iteration ε
+//!   schedules;
+//! * [`accountant`] — (ε, δ)-probabilistic differential privacy accounting
+//!   (Definition 3), the per-aggregate δ_atom split, the Theorem-3 gossip
+//!   exchange calculator and the Lemma-2/3 approximation-error compensation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accountant;
+pub mod budget;
+pub mod gamma;
+pub mod laplace;
+pub mod noise_share;
+
+pub use accountant::{Accountant, ProbabilisticDpParams};
+pub use budget::{BudgetSchedule, BudgetStrategy};
+pub use laplace::{Laplace, LaplaceMechanism, Sensitivity};
+pub use noise_share::{NoiseShare, NoiseShareGenerator};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::accountant::{Accountant, ProbabilisticDpParams};
+    pub use crate::budget::{BudgetSchedule, BudgetStrategy};
+    pub use crate::laplace::{Laplace, LaplaceMechanism, Sensitivity};
+    pub use crate::noise_share::{NoiseShare, NoiseShareGenerator};
+}

@@ -1,0 +1,175 @@
+//! Infinitely-divisible Laplace noise (Lemma 1) and per-participant noise
+//! shares (Definition 5).
+//!
+//! A Laplace variable `L(λ)` equals in distribution the sum of `nν`
+//! independent *noise shares* `νᵢ = G₁(nν, λ) − G₂(nν, λ)`, where `G₁` and
+//! `G₂` are i.i.d. Gamma variables with shape `1/nν` and scale `λ`.  In
+//! Chiaroscuro each participant draws one share locally, encrypts it, and
+//! the epidemic sum of shares yields the collaborative Laplace perturbation
+//! that no single participant knows.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gamma::Gamma;
+
+/// One participant's noise share (Definition 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseShare {
+    /// The sampled value `ν = G₁ − G₂`.
+    pub value: f64,
+}
+
+/// Generator of noise shares for a target Laplace scale and a share count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseShareGenerator {
+    /// Total number of shares `nν` whose sum forms the Laplace noise.
+    num_shares: usize,
+    /// Target Laplace scale `λ`.
+    scale: f64,
+}
+
+impl NoiseShareGenerator {
+    /// Creates a generator for `nν` shares and Laplace scale `λ`.
+    ///
+    /// # Panics
+    /// Panics if `num_shares` is zero or `scale` is not strictly positive.
+    pub fn new(num_shares: usize, scale: f64) -> Self {
+        assert!(num_shares > 0, "the number of noise shares must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "the Laplace scale must be positive");
+        Self { num_shares, scale }
+    }
+
+    /// The number of shares `nν`.
+    pub fn num_shares(&self) -> usize {
+        self.num_shares
+    }
+
+    /// The target Laplace scale `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The Gamma distribution of each half of a share: shape `1/nν`,
+    /// scale `λ`.
+    fn component(&self) -> Gamma {
+        Gamma::new(1.0 / self.num_shares as f64, self.scale)
+    }
+
+    /// Draws one noise share.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NoiseShare {
+        let g = self.component();
+        NoiseShare { value: g.sample(rng) - g.sample(rng) }
+    }
+
+    /// Draws a whole vector of shares (one per dimension of a time-series),
+    /// as a participant does for the `k · (n + 1)` Laplace noises of one
+    /// iteration.
+    pub fn sample_vector<R: Rng + ?Sized>(&self, dimensions: usize, rng: &mut R) -> Vec<NoiseShare> {
+        (0..dimensions).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws the *surplus correction* of §4.2.2: when `extra` more
+    /// participants than expected contributed shares, the correction is the
+    /// sum of `extra` freshly drawn shares, to be subtracted from the
+    /// aggregated noise so that exactly `nν` shares remain in expectation.
+    pub fn sample_correction<R: Rng + ?Sized>(&self, extra: usize, rng: &mut R) -> f64 {
+        (0..extra).map(|_| self.sample(rng).value).sum()
+    }
+}
+
+/// Sums a slice of noise shares, yielding (a sample of) the aggregated
+/// Laplace noise.
+pub fn aggregate(shares: &[NoiseShare]) -> f64 {
+    shares.iter().map(|s| s.value).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "noise shares must be positive")]
+    fn zero_shares_rejected() {
+        NoiseShareGenerator::new(0, 1.0);
+    }
+
+    #[test]
+    fn shares_have_zero_mean() {
+        let gen = NoiseShareGenerator::new(100, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean = (0..n).map(|_| gen.sample(&mut rng).value).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn sum_of_shares_matches_laplace_variance() {
+        // Lemma 1: the sum of nν shares has the same distribution as L(λ);
+        // in particular the variance must match 2λ².
+        let nu = 50usize;
+        let scale = 3.0;
+        let gen = NoiseShareGenerator::new(nu, scale);
+        let target = Laplace::new(scale);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let sums: Vec<f64> = (0..trials)
+            .map(|_| aggregate(&gen.sample_vector(nu, &mut rng)))
+            .collect();
+        let mean = sums.iter().sum::<f64>() / trials as f64;
+        let var = sums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        assert!(mean.abs() < 0.2, "mean={mean}");
+        assert!(
+            (var - target.variance()).abs() / target.variance() < 0.1,
+            "var={var}, expected {}",
+            target.variance()
+        );
+    }
+
+    #[test]
+    fn sum_of_shares_tail_matches_laplace() {
+        // Check a tail probability: P(|L(λ)| > 2λ) = e^{-2} ≈ 0.1353.
+        let nu = 20usize;
+        let scale = 1.0;
+        let gen = NoiseShareGenerator::new(nu, scale);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 30_000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let total: f64 = (0..nu).map(|_| gen.sample(&mut rng).value).sum();
+                total.abs() > 2.0 * scale
+            })
+            .count();
+        let frac = exceed as f64 / trials as f64;
+        assert!((frac - (-2.0f64).exp()).abs() < 0.02, "tail fraction={frac}");
+    }
+
+    #[test]
+    fn single_share_is_much_smaller_than_total_noise() {
+        // Privacy rationale: one share discloses a negligible fraction of the
+        // noise when nν is large (Appendix B.3).
+        let gen = NoiseShareGenerator::new(10_000, 100.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let mean_abs_share = (0..n).map(|_| gen.sample(&mut rng).value.abs()).sum::<f64>() / n as f64;
+        let mean_abs_laplace = 100.0; // E|L(λ)| = λ
+        assert!(mean_abs_share < 0.05 * mean_abs_laplace);
+    }
+
+    #[test]
+    fn correction_of_zero_extra_is_zero() {
+        let gen = NoiseShareGenerator::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gen.sample_correction(0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn sample_vector_length() {
+        let gen = NoiseShareGenerator::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(gen.sample_vector(25, &mut rng).len(), 25);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the differential-privacy substrate.
+
+use chiaroscuro_dp::accountant::{exchanges_for, ProbabilisticDpParams};
+use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
+use chiaroscuro_dp::gamma::Gamma;
+use chiaroscuro_dp::laplace::{Laplace, LaplaceMechanism, Sensitivity};
+use chiaroscuro_dp::noise_share::NoiseShareGenerator;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn strategy_strategy() -> impl Strategy<Value = BudgetStrategy> {
+    prop_oneof![
+        Just(BudgetStrategy::Greedy),
+        (1usize..8).prop_map(|f| BudgetStrategy::GreedyFloor { floor_size: f }),
+        (1usize..12).prop_map(|m| BudgetStrategy::UniformFast { max_iterations: m }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn laplace_cdf_is_monotone_and_bounded(scale in 0.1f64..100.0, a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let d = Laplace::new(scale);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        prop_assert!(d.cdf(lo) >= 0.0 && d.cdf(hi) <= 1.0);
+    }
+
+    #[test]
+    fn laplace_pdf_is_symmetric(scale in 0.1f64..100.0, x in 0.0f64..50.0) {
+        let d = Laplace::new(scale);
+        prop_assert!((d.pdf(x) - d.pdf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_samples_are_finite(scale in 0.01f64..1_000.0, seed in 0u64..1_000) {
+        let d = Laplace::new(scale);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn gamma_samples_are_nonnegative_and_finite(
+        shape in 0.001f64..20.0,
+        scale in 0.01f64..100.0,
+        seed in 0u64..500,
+    ) {
+        let d = Gamma::new(shape, scale);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_shares_are_finite_for_extreme_share_counts(
+        num_shares in 1usize..5_000_000,
+        scale in 0.1f64..10_000.0,
+        seed in 0u64..200,
+    ) {
+        let gen = NoiseShareGenerator::new(num_shares, scale);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let share = gen.sample(&mut rng);
+        prop_assert!(share.value.is_finite());
+    }
+
+    #[test]
+    fn budget_schedules_never_exceed_epsilon(
+        strategy in strategy_strategy(),
+        epsilon in 0.01f64..10.0,
+        max_iterations in 1usize..30,
+        run_length in 1usize..60,
+    ) {
+        let s = BudgetSchedule::new(strategy, epsilon, max_iterations);
+        prop_assert!(s.cumulative_epsilon(run_length) <= epsilon + 1e-9);
+        // Per-iteration budgets are non-negative and non-increasing across
+        // floor boundaries for the greedy family.
+        for i in 0..run_length {
+            prop_assert!(s.epsilon_for_iteration(i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_budgets_are_non_increasing(epsilon in 0.01f64..10.0, iterations in 2usize..40) {
+        let s = BudgetSchedule::new(BudgetStrategy::Greedy, epsilon, iterations);
+        for i in 1..iterations {
+            prop_assert!(s.epsilon_for_iteration(i) <= s.epsilon_for_iteration(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn mechanism_scale_is_monotone_in_sensitivity_and_epsilon(
+        n in 1usize..200,
+        bound in 0.1f64..500.0,
+        eps1 in 0.01f64..2.0,
+        eps2 in 0.01f64..2.0,
+    ) {
+        let s = Sensitivity::from_range(n, 0.0, bound);
+        let m1 = LaplaceMechanism::new(s, eps1);
+        let m2 = LaplaceMechanism::new(s, eps2);
+        if eps1 < eps2 {
+            prop_assert!(m1.sum_scale() >= m2.sum_scale());
+        } else {
+            prop_assert!(m2.sum_scale() >= m1.sum_scale());
+        }
+        prop_assert!((m1.sum_scale() - n as f64 * bound / eps1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem3_exchanges_monotone(
+        pop_small in 10usize..10_000,
+        factor in 2usize..1_000,
+        e_max in 1e-12f64..0.1,
+        iota in 1e-9f64..0.1,
+    ) {
+        let small = exchanges_for(pop_small, 1.0, e_max, iota);
+        let large = exchanges_for(pop_small * factor, 1.0, e_max, iota);
+        prop_assert!(large >= small);
+    }
+
+    #[test]
+    fn delta_atom_is_in_unit_interval(
+        delta in 0.5f64..1.0,
+        max_it in 1usize..20,
+        n in 1usize..200,
+    ) {
+        let p = ProbabilisticDpParams::new(0.69, delta, max_it, n);
+        let atom = p.delta_atom();
+        prop_assert!(atom > 0.0 && atom <= 1.0);
+        // Splitting can only make the per-atom requirement stricter (closer to 1).
+        prop_assert!(atom >= delta - 1e-12);
+        // Re-composing the atoms recovers the global delta.
+        prop_assert!((atom.powi(p.atoms() as i32) - delta).abs() < 1e-9);
+    }
+}

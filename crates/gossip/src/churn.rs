@@ -1,0 +1,80 @@
+//! Churn model: participants connect and disconnect arbitrarily.
+//!
+//! §6.1.5 of the paper models churn as a uniform probability for each
+//! participant to be disconnected at each gossip exchange (and, at the
+//! k-means level, at each iteration).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The uniform-disconnection churn model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Probability that a given participant is offline at a given exchange.
+    disconnection_probability: f64,
+}
+
+impl ChurnModel {
+    /// No churn: every participant is always online.
+    pub const NONE: ChurnModel = ChurnModel { disconnection_probability: 0.0 };
+
+    /// Creates a churn model with the given per-exchange disconnection
+    /// probability.
+    ///
+    /// # Panics
+    /// Panics if the probability is outside `[0, 1)`.
+    pub fn new(disconnection_probability: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&disconnection_probability),
+            "disconnection probability must be in [0, 1), got {disconnection_probability}"
+        );
+        Self { disconnection_probability }
+    }
+
+    /// The disconnection probability.
+    pub fn probability(&self) -> f64 {
+        self.disconnection_probability
+    }
+
+    /// Samples whether a participant is online for the current exchange.
+    pub fn is_online<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.disconnection_probability == 0.0 || rng.gen::<f64>() >= self.disconnection_probability
+    }
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_churn_is_always_online() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(ChurnModel::NONE.is_online(&mut rng));
+        }
+    }
+
+    #[test]
+    fn churn_rate_matches_probability() {
+        let churn = ChurnModel::new(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let offline = (0..n).filter(|_| !churn.is_online(&mut rng)).count();
+        let rate = offline as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnection probability")]
+    fn probability_one_rejected() {
+        ChurnModel::new(1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The round-based gossip simulation engine.
+//!
+//! The engine plays the role of PeerSim in the paper's evaluation: it holds
+//! one protocol state per simulated participant and, at every round, lets
+//! each online participant initiate one pairwise exchange with a randomly
+//! selected online contact.  The number of messages (two per exchange, one
+//! per direction) and the number of rounds are tracked so that the latency
+//! figures can be reproduced.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::churn::ChurnModel;
+use crate::metrics::ExchangeMetrics;
+
+/// A protocol whose whole behaviour is a symmetric pairwise exchange between
+/// an initiator and its contact (push-pull gossip).
+pub trait PairwiseProtocol<N> {
+    /// Performs one push-pull exchange between two participants' states.
+    fn exchange(&self, initiator: &mut N, contact: &mut N);
+}
+
+/// The round-based engine driving one protocol over a population of nodes.
+#[derive(Debug, Clone)]
+pub struct GossipEngine<N> {
+    nodes: Vec<N>,
+    churn: ChurnModel,
+    metrics: ExchangeMetrics,
+}
+
+impl<N> GossipEngine<N> {
+    /// Creates an engine over the given per-node states.
+    ///
+    /// # Panics
+    /// Panics if fewer than two nodes are provided.
+    pub fn new(nodes: Vec<N>, churn: ChurnModel) -> Self {
+        assert!(nodes.len() >= 2, "gossip needs at least two participants");
+        Self { nodes, churn, metrics: ExchangeMetrics::default() }
+    }
+
+    /// The population size.
+    pub fn population(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to the node states.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Mutable access to the node states (used by protocols that need a
+    /// post-round hook, e.g. to inject corrections).
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// The churn model in force.
+    pub fn churn(&self) -> ChurnModel {
+        self.churn
+    }
+
+    /// Accumulated message/round metrics.
+    pub fn metrics(&self) -> &ExchangeMetrics {
+        &self.metrics
+    }
+
+    /// Runs one gossip round: every online node, in random order, initiates
+    /// one exchange with a uniformly chosen online contact.
+    ///
+    /// Uniform contact selection models a well-mixed Newscast overlay (see
+    /// [`crate::newscast`]); the approximation is standard for aggregation
+    /// analyses and keeps million-node simulations tractable.
+    pub fn run_round<P, R>(&mut self, protocol: &P, rng: &mut R)
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
+        let population = self.nodes.len();
+        let mut order: Vec<usize> = (0..population).collect();
+        order.shuffle(rng);
+        for initiator in order {
+            if !self.churn.is_online(rng) {
+                continue;
+            }
+            // Pick a distinct online contact (bounded retries under churn).
+            let mut contact = None;
+            for _ in 0..8 {
+                let candidate = rng.gen_range(0..population);
+                if candidate != initiator && self.churn.is_online(rng) {
+                    contact = Some(candidate);
+                    break;
+                }
+            }
+            let Some(contact) = contact else { continue };
+            let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
+            protocol.exchange(a, b);
+            self.metrics.record_exchange();
+        }
+        self.metrics.record_round();
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds<P, R>(&mut self, protocol: &P, rounds: u32, rng: &mut R)
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
+        for _ in 0..rounds {
+            self.run_round(protocol, rng);
+        }
+    }
+
+    /// Runs rounds until `done` holds over the node states or `max_rounds`
+    /// is reached; returns whether the predicate was satisfied.
+    pub fn run_until<P, R, F>(&mut self, protocol: &P, max_rounds: u32, rng: &mut R, mut done: F) -> bool
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+        F: FnMut(&[N]) -> bool,
+    {
+        for _ in 0..max_rounds {
+            if done(&self.nodes) {
+                return true;
+            }
+            self.run_round(protocol, rng);
+        }
+        done(&self.nodes)
+    }
+
+    /// Consumes the engine, returning the node states and the metrics.
+    pub fn into_parts(self) -> (Vec<N>, ExchangeMetrics) {
+        (self.nodes, self.metrics)
+    }
+}
+
+/// Borrows two distinct elements of a slice mutably.
+///
+/// # Panics
+/// Panics if `i == j` or either index is out of bounds.
+pub fn pair_mut<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "cannot mutably borrow the same element twice");
+    if i < j {
+        let (left, right) = slice.split_at_mut(j);
+        (&mut left[i], &mut right[0])
+    } else {
+        let (left, right) = slice.split_at_mut(i);
+        (&mut right[0], &mut left[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A toy protocol: both peers keep the max of their values.
+    struct MaxProtocol;
+
+    impl PairwiseProtocol<u64> for MaxProtocol {
+        fn exchange(&self, a: &mut u64, b: &mut u64) {
+            let m = (*a).max(*b);
+            *a = m;
+            *b = m;
+        }
+    }
+
+    #[test]
+    fn pair_mut_returns_correct_elements() {
+        let mut v = vec![10, 20, 30, 40];
+        {
+            let (a, b) = pair_mut(&mut v, 0, 3);
+            assert_eq!((*a, *b), (10, 40));
+            *a = 1;
+            *b = 4;
+        }
+        assert_eq!(v, vec![1, 20, 30, 4]);
+        let (a, b) = pair_mut(&mut v, 2, 1);
+        assert_eq!((*a, *b), (30, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "same element")]
+    fn pair_mut_rejects_equal_indices() {
+        let mut v = vec![1, 2];
+        pair_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    fn max_spreads_epidemically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let nodes: Vec<u64> = (0..500).map(|i| i as u64).collect();
+        let mut engine = GossipEngine::new(nodes, ChurnModel::NONE);
+        let converged = engine.run_until(&MaxProtocol, 30, &mut rng, |nodes| nodes.iter().all(|&v| v == 499));
+        assert!(converged, "the max should spread to everyone within 30 rounds");
+        // Epidemic spreading is logarithmic: 500 nodes need far fewer than 30 rounds.
+        assert!(engine.metrics().rounds() <= 20);
+    }
+
+    #[test]
+    fn message_count_tracks_exchanges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = GossipEngine::new(vec![0u64; 100], ChurnModel::NONE);
+        engine.run_rounds(&MaxProtocol, 5, &mut rng);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.rounds(), 5);
+        // Without churn every node initiates once per round: 100 exchanges,
+        // 200 messages per round.
+        assert_eq!(metrics.exchanges(), 500);
+        assert_eq!(metrics.messages(), 1_000);
+        assert!((metrics.messages_per_node(100) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_reduces_exchange_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut no_churn = GossipEngine::new(vec![0u64; 200], ChurnModel::NONE);
+        no_churn.run_rounds(&MaxProtocol, 10, &mut rng);
+        let mut churny = GossipEngine::new(vec![0u64; 200], ChurnModel::new(0.5));
+        churny.run_rounds(&MaxProtocol, 10, &mut rng);
+        assert!(churny.metrics().exchanges() < no_churn.metrics().exchanges());
+    }
+
+    #[test]
+    fn run_until_stops_early_when_done() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut engine = GossipEngine::new(vec![7u64; 50], ChurnModel::NONE);
+        let converged = engine.run_until(&MaxProtocol, 100, &mut rng, |nodes| nodes.iter().all(|&v| v == 7));
+        assert!(converged);
+        assert_eq!(engine.metrics().rounds(), 0, "predicate already true: no rounds needed");
+    }
+}

@@ -1,0 +1,192 @@
+//! Newscast overlay maintenance.
+//!
+//! Chiaroscuro's connectivity layer is Newscast (Kowalczyk & Vlassis /
+//! Jelasity et al.): each node keeps a small local view of peers, and at
+//! every round exchanges and merges views with one random peer from its own
+//! view.  The emergent overlay has near-uniform random sampling properties,
+//! which is what the analytical convergence result (Theorem 3) relies on.
+//!
+//! The overlay simulated here feeds the peer-selection of the aggregation
+//! protocols for moderate populations; large-population experiments use the
+//! uniform selector, which Newscast approximates.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::churn::ChurnModel;
+use crate::view::{LocalView, NodeId};
+
+/// A simulated Newscast overlay over `population` nodes.
+#[derive(Debug, Clone)]
+pub struct NewscastOverlay {
+    views: Vec<LocalView>,
+    rounds_run: u32,
+}
+
+impl NewscastOverlay {
+    /// Builds an overlay where every node starts with `view_size` random
+    /// peers (the bootstrap list handed out with the initial parameters).
+    pub fn bootstrap<R: Rng + ?Sized>(population: usize, view_size: usize, rng: &mut R) -> Self {
+        assert!(population >= 2, "an overlay needs at least two nodes");
+        let views = (0..population as NodeId)
+            .map(|me| {
+                let mut peers = Vec::with_capacity(view_size);
+                while peers.len() < view_size.min(population - 1) {
+                    let candidate = rng.gen_range(0..population as NodeId);
+                    if candidate != me && !peers.contains(&candidate) {
+                        peers.push(candidate);
+                    }
+                }
+                LocalView::bootstrap(view_size, peers)
+            })
+            .collect();
+        Self { views, rounds_run: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn population(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of maintenance rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// The view of one node.
+    pub fn view(&self, node: NodeId) -> &LocalView {
+        &self.views[node as usize]
+    }
+
+    /// Runs one Newscast maintenance round: every online node exchanges and
+    /// merges views with one random peer from its view.
+    pub fn run_round<R: Rng + ?Sized>(&mut self, churn: ChurnModel, rng: &mut R) {
+        let population = self.views.len();
+        let mut order: Vec<usize> = (0..population).collect();
+        order.shuffle(rng);
+        for node in order {
+            if !churn.is_online(rng) {
+                continue;
+            }
+            let Some(peer) = self.views[node].pick_random(rng) else { continue };
+            if peer as usize == node || !churn.is_online(rng) {
+                continue;
+            }
+            let (a, b) = (node, peer as usize);
+            let view_a = self.views[a].clone();
+            let view_b = self.views[b].clone();
+            self.views[a].merge_from(a as NodeId, b as NodeId, &view_b);
+            self.views[b].merge_from(b as NodeId, a as NodeId, &view_a);
+        }
+        for view in &mut self.views {
+            view.age();
+        }
+        self.rounds_run += 1;
+    }
+
+    /// Picks a gossip contact for `node`: a random peer from its view.
+    pub fn pick_contact<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        self.views[node as usize].pick_random(rng)
+    }
+
+    /// Fraction of ordered node pairs `(a, b)` such that `b` is reachable
+    /// from `a` within `max_hops` view hops.  Used to check overlay
+    /// connectivity in tests.
+    pub fn reachability_sample<R: Rng + ?Sized>(&self, samples: usize, max_hops: usize, rng: &mut R) -> f64 {
+        let population = self.views.len();
+        let mut reached = 0usize;
+        for _ in 0..samples {
+            let from = rng.gen_range(0..population);
+            let target = rng.gen_range(0..population) as NodeId;
+            let mut frontier = vec![from as NodeId];
+            let mut visited = std::collections::HashSet::new();
+            visited.insert(from as NodeId);
+            let mut found = from as NodeId == target;
+            for _ in 0..max_hops {
+                if found {
+                    break;
+                }
+                let mut next = Vec::new();
+                for &node in &frontier {
+                    for peer in self.views[node as usize].peers() {
+                        if peer == target {
+                            found = true;
+                        }
+                        if visited.insert(peer) {
+                            next.push(peer);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            if found {
+                reached += 1;
+            }
+        }
+        reached as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_views_have_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let overlay = NewscastOverlay::bootstrap(100, 10, &mut rng);
+        assert_eq!(overlay.population(), 100);
+        for n in 0..100u32 {
+            assert_eq!(overlay.view(n).len(), 10);
+            assert!(!overlay.view(n).contains(n), "no self-loop");
+        }
+    }
+
+    #[test]
+    fn views_stay_bounded_after_rounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut overlay = NewscastOverlay::bootstrap(200, 15, &mut rng);
+        for _ in 0..10 {
+            overlay.run_round(ChurnModel::NONE, &mut rng);
+        }
+        for n in 0..200u32 {
+            assert!(overlay.view(n).len() <= 15);
+            assert!(!overlay.view(n).is_empty());
+        }
+        assert_eq!(overlay.rounds_run(), 10);
+    }
+
+    #[test]
+    fn overlay_is_well_connected_after_mixing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut overlay = NewscastOverlay::bootstrap(300, 20, &mut rng);
+        for _ in 0..10 {
+            overlay.run_round(ChurnModel::NONE, &mut rng);
+        }
+        let reachability = overlay.reachability_sample(200, 4, &mut rng);
+        assert!(reachability > 0.95, "reachability = {reachability}");
+    }
+
+    #[test]
+    fn overlay_survives_churn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut overlay = NewscastOverlay::bootstrap(200, 20, &mut rng);
+        for _ in 0..10 {
+            overlay.run_round(ChurnModel::new(0.5), &mut rng);
+        }
+        let reachability = overlay.reachability_sample(100, 5, &mut rng);
+        assert!(reachability > 0.8, "reachability under churn = {reachability}");
+    }
+
+    #[test]
+    fn contacts_come_from_views() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let overlay = NewscastOverlay::bootstrap(50, 8, &mut rng);
+        for _ in 0..20 {
+            let contact = overlay.pick_contact(0, &mut rng).unwrap();
+            assert!(overlay.view(0).contains(contact));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Local views: the bounded list of known peers that bootstraps gossip
+//! exchanges (the `Λ` parameter of the paper, size 30 in the experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a simulated participant.
+pub type NodeId = u32;
+
+/// One entry of a local view: a peer and the age of the information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewEntry {
+    /// The peer's identifier.
+    pub peer: NodeId,
+    /// Age in gossip rounds since the entry was created (0 = freshest).
+    pub age: u32,
+}
+
+/// A bounded, age-ordered local view (Newscast-style).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalView {
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl LocalView {
+    /// Creates an empty view with the given capacity (the paper uses 30).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a local view needs a positive capacity");
+        Self { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Creates a view pre-filled with the given peers at age zero.
+    pub fn bootstrap(capacity: usize, peers: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut view = Self::new(capacity);
+        for peer in peers {
+            view.insert(ViewEntry { peer, age: 0 });
+        }
+        view
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries, freshest first.
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The peers currently in the view.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.peer)
+    }
+
+    /// Whether `peer` appears in the view.
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.entries.iter().any(|e| e.peer == peer)
+    }
+
+    /// Ages every entry by one round.
+    pub fn age(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// Inserts an entry, keeping only the freshest entry per peer and the
+    /// freshest `capacity` entries overall.
+    pub fn insert(&mut self, entry: ViewEntry) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.peer == entry.peer) {
+            if entry.age < existing.age {
+                existing.age = entry.age;
+            }
+        } else {
+            self.entries.push(entry);
+        }
+        self.entries.sort_by_key(|e| e.age);
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Newscast merge: combines this view with a peer's view (plus the peer
+    /// itself as a fresh entry), keeping the freshest entries.  `self_id` is
+    /// excluded so a node never stores itself.
+    pub fn merge_from(&mut self, self_id: NodeId, sender: NodeId, sender_view: &LocalView) {
+        self.insert(ViewEntry { peer: sender, age: 0 });
+        for entry in sender_view.entries() {
+            if entry.peer != self_id {
+                self.insert(*entry);
+            }
+        }
+    }
+
+    /// Picks one peer uniformly at random from the view.
+    pub fn pick_random<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[rng.gen_range(0..self.entries.len())].peer)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_and_capacity() {
+        let view = LocalView::bootstrap(3, [1, 2, 3, 4, 5]);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.capacity(), 3);
+    }
+
+    #[test]
+    fn insert_keeps_freshest_entries() {
+        let mut view = LocalView::new(2);
+        view.insert(ViewEntry { peer: 1, age: 5 });
+        view.insert(ViewEntry { peer: 2, age: 1 });
+        view.insert(ViewEntry { peer: 3, age: 3 });
+        assert!(view.contains(2) && view.contains(3));
+        assert!(!view.contains(1), "oldest entry must be evicted");
+    }
+
+    #[test]
+    fn insert_deduplicates_by_peer_keeping_freshest_age() {
+        let mut view = LocalView::new(4);
+        view.insert(ViewEntry { peer: 7, age: 9 });
+        view.insert(ViewEntry { peer: 7, age: 2 });
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.entries()[0].age, 2);
+    }
+
+    #[test]
+    fn aging_increments_all_entries() {
+        let mut view = LocalView::bootstrap(4, [1, 2]);
+        view.age();
+        view.age();
+        assert!(view.entries().iter().all(|e| e.age == 2));
+    }
+
+    #[test]
+    fn merge_adds_sender_as_fresh_and_excludes_self() {
+        let mut mine = LocalView::bootstrap(5, [10, 11]);
+        mine.age();
+        let theirs = LocalView::bootstrap(5, [20, 1]);
+        mine.merge_from(1, 99, &theirs);
+        assert!(mine.contains(99), "sender must be added");
+        assert!(mine.contains(20));
+        assert!(!mine.contains(1), "a node never stores itself");
+        // Fresh entries must sort before the aged originals.
+        assert_eq!(mine.entries()[0].age, 0);
+    }
+
+    #[test]
+    fn pick_random_returns_members() {
+        let view = LocalView::bootstrap(5, [3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = view.pick_random(&mut rng).unwrap();
+            assert!(view.contains(p));
+        }
+        assert!(LocalView::new(3).pick_random(&mut rng).is_none());
+    }
+}

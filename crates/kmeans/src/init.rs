@@ -1,0 +1,171 @@
+//! Initial-centroid selection.
+//!
+//! The paper seeds k-means either with synthetic realistic curves (CER via
+//! the CourboGen generator — never raw member series, for privacy) or with
+//! series drawn uniformly at random (NUMED, 2-D points).  Both options are
+//! provided here, plus k-means++ as an extension for the non-private
+//! baseline.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use chiaroscuro_timeseries::distance::squared_euclidean;
+use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet};
+
+/// How to obtain the initial centroids `C_init`.
+#[derive(Debug, Clone)]
+pub enum InitialCentroids {
+    /// Use the provided centroids verbatim (e.g. generator-produced curves).
+    Provided(Vec<TimeSeries>),
+    /// Draw `k` distinct series from the dataset uniformly at random.
+    RandomFromData {
+        /// Number of centroids.
+        k: usize,
+    },
+    /// k-means++ seeding (non-private extension; not used by the paper).
+    PlusPlus {
+        /// Number of centroids.
+        k: usize,
+    },
+}
+
+impl InitialCentroids {
+    /// Materialises the initial centroids for a dataset.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero, exceeds the dataset size, or provided centroids
+    /// have a length different from the dataset's series length.
+    pub fn materialize<R: Rng + ?Sized>(&self, data: &TimeSeriesSet, rng: &mut R) -> Vec<TimeSeries> {
+        match self {
+            InitialCentroids::Provided(centroids) => {
+                assert!(!centroids.is_empty(), "provided centroids must not be empty");
+                for c in centroids {
+                    assert_eq!(
+                        c.len(),
+                        data.series_length(),
+                        "centroid length must match the series length"
+                    );
+                }
+                centroids.clone()
+            }
+            InitialCentroids::RandomFromData { k } => {
+                assert!(*k >= 1 && *k <= data.len(), "k must be in 1..=t");
+                data.series().choose_multiple(rng, *k).cloned().collect()
+            }
+            InitialCentroids::PlusPlus { k } => {
+                assert!(*k >= 1 && *k <= data.len(), "k must be in 1..=t");
+                plus_plus(data, *k, rng)
+            }
+        }
+    }
+
+    /// The number of centroids this initialisation produces.
+    pub fn k(&self) -> usize {
+        match self {
+            InitialCentroids::Provided(centroids) => centroids.len(),
+            InitialCentroids::RandomFromData { k } | InitialCentroids::PlusPlus { k } => *k,
+        }
+    }
+}
+
+/// Standard k-means++ seeding.
+fn plus_plus<R: Rng + ?Sized>(data: &TimeSeriesSet, k: usize, rng: &mut R) -> Vec<TimeSeries> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data.get(rng.gen_range(0..data.len())).clone());
+    let mut distances: Vec<f64> = data
+        .iter()
+        .map(|s| squared_euclidean(s.values(), centroids[0].values()))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = distances.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with an existing centroid.
+            data.get(rng.gen_range(0..data.len())).clone()
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, d) in distances.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            data.get(chosen).clone()
+        };
+        for (i, s) in data.iter().enumerate() {
+            let d = squared_euclidean(s.values(), next.values());
+            if d < distances[i] {
+                distances[i] = d;
+            }
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro_timeseries::ValueRange;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> TimeSeriesSet {
+        let series = (0..20)
+            .map(|i| TimeSeries::new(vec![i as f64, (i * 2) as f64]))
+            .collect();
+        TimeSeriesSet::new(series, ValueRange::new(0.0, 40.0))
+    }
+
+    #[test]
+    fn provided_centroids_are_used_verbatim() {
+        let data = dataset();
+        let provided = vec![TimeSeries::new(vec![1.0, 1.0]), TimeSeries::new(vec![2.0, 2.0])];
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = InitialCentroids::Provided(provided.clone());
+        assert_eq!(init.materialize(&data, &mut rng), provided);
+        assert_eq!(init.k(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid length")]
+    fn provided_centroids_with_wrong_length_panic() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        InitialCentroids::Provided(vec![TimeSeries::zeros(3)]).materialize(&data, &mut rng);
+    }
+
+    #[test]
+    fn random_from_data_returns_k_members() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let centroids = InitialCentroids::RandomFromData { k: 5 }.materialize(&data, &mut rng);
+        assert_eq!(centroids.len(), 5);
+        for c in &centroids {
+            assert!(data.iter().any(|s| s == c), "random centroids must be dataset members");
+        }
+    }
+
+    #[test]
+    fn plus_plus_returns_k_distinct_spread_centroids() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let centroids = InitialCentroids::PlusPlus { k: 4 }.materialize(&data, &mut rng);
+        assert_eq!(centroids.len(), 4);
+        // k-means++ on distinct points should not pick the same point twice.
+        for i in 0..centroids.len() {
+            for j in (i + 1)..centroids.len() {
+                assert_ne!(centroids[i], centroids[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_larger_than_dataset_panics() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        InitialCentroids::RandomFromData { k: 21 }.materialize(&data, &mut rng);
+    }
+}

@@ -1,0 +1,413 @@
+//! The perturbed centralized k-means: the paper's vehicle for evaluating
+//! clustering quality at dataset scale (§5 and §6.1–6.2).
+//!
+//! Every iteration follows Chiaroscuro's computation semantics, minus the
+//! distribution machinery (which affects latency, not quality — modulo the
+//! gossip approximation error, which is orders of magnitude below the DP
+//! noise):
+//!
+//! 1. assignment of every series to the closest current centroid;
+//! 2. exact cluster sums and counts;
+//! 3. Laplace perturbation of each sum dimension
+//!    (`L(n·max(|d_min|,|d_max|)/ε_i)`) and of each count (`L(1/ε_i)`),
+//!    where `ε_i` comes from the budget-concentration strategy;
+//! 4. division sum/count to obtain the perturbed means, optional SMA
+//!    smoothing (§5.2), and aberrant-centroid handling (clusters whose
+//!    perturbed count collapses produce unusable means that no series will
+//!    select at the next iteration, exactly as footnote 8 describes);
+//! 5. convergence / iteration-limit check.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use chiaroscuro_dp::budget::BudgetSchedule;
+use chiaroscuro_dp::laplace::{Laplace, LaplaceMechanism, Sensitivity};
+use chiaroscuro_timeseries::inertia::{dataset_inertia, intra_inertia, Assignment};
+use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet};
+
+use crate::init::InitialCentroids;
+use crate::report::{IterationReport, RunReport};
+
+/// Means-smoothing configuration (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// No smoothing.
+    None,
+    /// Circular simple moving average whose window is a fraction of the
+    /// series length (the paper uses 20%).
+    MovingAverage {
+        /// Window size as a fraction of the series length (0, 1].
+        window_fraction: f64,
+    },
+}
+
+impl Smoothing {
+    /// The paper's default: a 20% window.
+    pub const PAPER_DEFAULT: Smoothing = Smoothing::MovingAverage { window_fraction: 0.2 };
+
+    /// Applies the smoothing to a centroid.
+    pub fn apply(&self, series: &TimeSeries) -> TimeSeries {
+        match self {
+            Smoothing::None => series.clone(),
+            Smoothing::MovingAverage { window_fraction } => {
+                assert!(*window_fraction > 0.0 && *window_fraction <= 1.0);
+                let window = ((series.len() as f64 * window_fraction).round() as usize).max(2) & !1usize;
+                series.smoothed_circular(window.max(2))
+            }
+        }
+    }
+}
+
+/// Configuration of a perturbed k-means run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerturbedKMeansConfig {
+    /// Per-iteration privacy-budget schedule.
+    pub schedule: BudgetSchedule,
+    /// Maximum number of iterations `n_max_it`.
+    pub max_iterations: usize,
+    /// Convergence threshold θ on the total centroid displacement.
+    pub convergence_threshold: f64,
+    /// Means smoothing.
+    pub smoothing: Smoothing,
+    /// Per-iteration churn: probability that a series' device is offline for
+    /// a whole iteration (§6.1.5); 0 disables churn.
+    pub iteration_churn: f64,
+    /// Gossip relative-error bound `e_max` compensated per Lemma 2 (0 for
+    /// the pure centralized surrogate).
+    pub gossip_error_bound: f64,
+}
+
+impl PerturbedKMeansConfig {
+    /// Creates a configuration with no churn, no gossip compensation and the
+    /// paper's smoothing default.
+    pub fn new(schedule: BudgetSchedule, max_iterations: usize) -> Self {
+        Self {
+            schedule,
+            max_iterations,
+            convergence_threshold: 1e-4,
+            smoothing: Smoothing::PAPER_DEFAULT,
+            iteration_churn: 0.0,
+            gossip_error_bound: 0.0,
+        }
+    }
+
+    /// Sets the smoothing mode.
+    pub fn with_smoothing(mut self, smoothing: Smoothing) -> Self {
+        self.smoothing = smoothing;
+        self
+    }
+
+    /// Sets the per-iteration churn probability.
+    pub fn with_iteration_churn(mut self, churn: f64) -> Self {
+        assert!((0.0..1.0).contains(&churn));
+        self.iteration_churn = churn;
+        self
+    }
+}
+
+/// The perturbed centralized k-means runner.
+#[derive(Debug, Clone)]
+pub struct PerturbedKMeans {
+    config: PerturbedKMeansConfig,
+}
+
+impl PerturbedKMeans {
+    /// Creates a runner.
+    pub fn new(config: PerturbedKMeansConfig) -> Self {
+        assert!(config.max_iterations >= 1);
+        Self { config }
+    }
+
+    /// Runs the perturbed k-means on `data` from `init` centroids.
+    pub fn run<R: Rng + ?Sized>(&self, data: &TimeSeriesSet, init: &InitialCentroids, rng: &mut R) -> RunReport {
+        let mut centroids = init.materialize(data, rng);
+        let k = centroids.len();
+        let n = data.series_length();
+        let sensitivity = Sensitivity::from_range(n, data.range().min, data.range().max);
+        let mut iterations = Vec::new();
+        let mut converged = false;
+
+        for iteration in 0..self.config.max_iterations {
+            let epsilon_i = self.config.schedule.epsilon_for_iteration(iteration);
+            if epsilon_i <= 0.0 {
+                break; // Budget exhausted (UNIFORM_FAST's hard limit).
+            }
+            // Churn: a random fraction of the devices is offline this iteration.
+            let working_set;
+            let active: &TimeSeriesSet = if self.config.iteration_churn > 0.0 {
+                working_set = data.churned(self.config.iteration_churn, rng);
+                &working_set
+            } else {
+                data
+            };
+
+            // Assignment step on the (perturbed) centroids of the previous iteration.
+            let assignment = Assignment::compute(active, &centroids);
+            let surviving = assignment.non_empty_clusters();
+
+            // Computation step: exact sums/counts, then the exact means for the PRE metric.
+            let (sums, counts) = assignment.cluster_sums(active, k);
+            let exact_means: Vec<TimeSeries> = sums
+                .iter()
+                .zip(counts.iter())
+                .enumerate()
+                .map(|(i, (sum, &count))| {
+                    if count > 0.0 {
+                        sum.scaled(1.0 / count)
+                    } else {
+                        centroids[i].clone()
+                    }
+                })
+                .collect();
+            let pre_inertia = intra_inertia(active, &exact_means, &assignment);
+
+            // Perturbation: Laplace noise on every sum dimension and count.
+            let mechanism = LaplaceMechanism::new(sensitivity, epsilon_i)
+                .with_gossip_error_bound(self.config.gossip_error_bound);
+            let sum_noise = Laplace::new(mechanism.sum_scale());
+            let count_noise = Laplace::new(mechanism.count_scale());
+            let compensation = mechanism.compensation_factor();
+            let mut perturbed: Vec<TimeSeries> = Vec::with_capacity(k);
+            let mut aberrant = vec![false; k];
+            for (i, (sum, &count)) in sums.iter().zip(counts.iter()).enumerate() {
+                let mut noisy_sum = sum.clone();
+                for v in noisy_sum.values_mut() {
+                    *v += compensation * sum_noise.sample(rng);
+                }
+                let noisy_count = count + compensation * count_noise.sample(rng);
+                let mean = if noisy_count.abs() < 0.5 {
+                    // The cluster is too small for the noise: its mean becomes
+                    // aberrant and will attract no series at the next
+                    // iteration (footnote 8).  A far-away sentinel makes that
+                    // explicit while keeping the arithmetic finite.
+                    aberrant[i] = true;
+                    aberrant_centroid(n, data.range().max, i)
+                } else {
+                    noisy_sum.scale(1.0 / noisy_count);
+                    self.config.smoothing.apply(&noisy_sum)
+                };
+                perturbed.push(mean);
+            }
+            // POST inertia is measured like Figure 2(e)/(f): same assignment,
+            // perturbed centroids, with the aberrant centroids removed (the
+            // series they owned are excluded rather than charged the sentinel
+            // distance).
+            let post_inertia = post_perturbation_inertia(active, &perturbed, &assignment, &aberrant);
+
+            iterations.push(IterationReport {
+                iteration,
+                epsilon: epsilon_i,
+                pre_inertia,
+                post_inertia,
+                surviving_centroids: surviving,
+                participating_series: active.len(),
+            });
+
+            // Convergence step on the perturbed centroids.
+            let displacement: f64 = centroids.iter().zip(perturbed.iter()).map(|(c, m)| c.distance(m)).sum();
+            centroids = perturbed;
+            if displacement <= self.config.convergence_threshold {
+                converged = true;
+                break;
+            }
+        }
+
+        RunReport {
+            iterations,
+            final_centroids: centroids,
+            converged,
+            dataset_inertia: dataset_inertia(data),
+        }
+    }
+}
+
+/// A sentinel centroid far outside the data range, guaranteed to attract no
+/// series.  Distinct per cluster index so sentinels never collide.
+fn aberrant_centroid(series_length: usize, range_max: f64, cluster: usize) -> TimeSeries {
+    TimeSeries::constant(series_length, range_max * 1e6 * (cluster + 2) as f64)
+}
+
+/// Intra-cluster inertia of the perturbed centroids under the pre-existing
+/// assignment, with the aberrant centroids (and the series assigned to them)
+/// removed — the POST metric of Figures 2(e)/(f).
+pub fn post_perturbation_inertia(
+    data: &TimeSeriesSet,
+    perturbed_centroids: &[TimeSeries],
+    assignment: &Assignment,
+    aberrant: &[bool],
+) -> f64 {
+    let mut acc = 0.0;
+    let mut kept = 0usize;
+    for (series, &label) in data.iter().zip(assignment.labels.iter()) {
+        if aberrant.get(label).copied().unwrap_or(false) {
+            continue;
+        }
+        acc += chiaroscuro_timeseries::distance::squared_euclidean(perturbed_centroids[label].values(), series.values());
+        kept += 1;
+    }
+    if kept == 0 {
+        f64::INFINITY
+    } else {
+        acc / kept as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiaroscuro_dp::budget::BudgetStrategy;
+    use chiaroscuro_timeseries::datasets::{cer::CerLikeGenerator, DatasetGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPSILON: f64 = 0.69;
+
+    fn cer_data(count: usize, seed: u64) -> TimeSeriesSet {
+        CerLikeGenerator::new(seed).generate(count)
+    }
+
+    fn greedy_config(max_it: usize) -> PerturbedKMeansConfig {
+        PerturbedKMeansConfig::new(
+            BudgetSchedule::new(BudgetStrategy::Greedy, EPSILON, max_it),
+            max_it,
+        )
+    }
+
+    #[test]
+    fn runs_and_respects_iteration_limit() {
+        let data = cer_data(500, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = PerturbedKMeans::new(greedy_config(5)).run(
+            &data,
+            &InitialCentroids::RandomFromData { k: 10 },
+            &mut rng,
+        );
+        assert!(report.num_iterations() <= 5);
+        assert!(report.num_iterations() >= 1);
+        assert!(report.total_epsilon() <= EPSILON + 1e-9);
+    }
+
+    #[test]
+    fn uniform_fast_stops_at_its_own_limit() {
+        let data = cer_data(300, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let schedule = BudgetSchedule::new(BudgetStrategy::UniformFast { max_iterations: 3 }, EPSILON, 10);
+        let config = PerturbedKMeansConfig::new(schedule, 10);
+        let report = PerturbedKMeans::new(config).run(&data, &InitialCentroids::RandomFromData { k: 5 }, &mut rng);
+        assert!(report.num_iterations() <= 3);
+    }
+
+    #[test]
+    fn quality_stays_comparable_to_unperturbed_on_large_population() {
+        // Requirement R3: with a large population the per-series impact of
+        // the noise is small and the perturbed inertia stays close to the
+        // unperturbed one during the first iterations.
+        let data = cer_data(4_000, 3);
+        let init = InitialCentroids::RandomFromData { k: 10 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let baseline = crate::lloyd::KMeans::new(crate::lloyd::KMeansConfig {
+            max_iterations: 5,
+            convergence_threshold: 0.0,
+        })
+        .run(&data, &init, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let perturbed = PerturbedKMeans::new(greedy_config(5)).run(&data, &init, &mut rng2);
+        let base_best = baseline
+            .pre_inertia_series()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let pert_best = perturbed.pre_post().unwrap().pre;
+        assert!(
+            pert_best < 1.8 * base_best + 1e-9,
+            "perturbed best inertia {pert_best} vs baseline {base_best}"
+        );
+        assert!(pert_best <= perturbed.dataset_inertia);
+    }
+
+    #[test]
+    fn smoothing_never_hurts_much_and_often_helps() {
+        let data = cer_data(2_000, 4);
+        let init = InitialCentroids::RandomFromData { k: 20 };
+        let run = |smoothing: Smoothing, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = greedy_config(5).with_smoothing(smoothing);
+            PerturbedKMeans::new(config)
+                .run(&data, &init, &mut rng)
+                .pre_post()
+                .unwrap()
+                .pre
+        };
+        // Average over a few seeds to damp the noise.
+        let seeds = [10u64, 11, 12];
+        let with_sma: f64 = seeds.iter().map(|&s| run(Smoothing::PAPER_DEFAULT, s)).sum::<f64>() / 3.0;
+        let without: f64 = seeds.iter().map(|&s| run(Smoothing::None, s)).sum::<f64>() / 3.0;
+        assert!(
+            with_sma <= without * 1.15,
+            "smoothing should not degrade quality: with={with_sma:.2}, without={without:.2}"
+        );
+    }
+
+    #[test]
+    fn centroids_can_be_lost_when_noise_overwhelms_small_clusters() {
+        // A tiny population with many clusters: the DP noise must wipe some
+        // centroids out (the paper's Figures 2(c)/(d) show exactly this).
+        let data = cer_data(100, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = PerturbedKMeans::new(greedy_config(8)).run(
+            &data,
+            &InitialCentroids::RandomFromData { k: 30 },
+            &mut rng,
+        );
+        let counts = report.centroid_counts();
+        assert!(
+            counts.last().unwrap() < &30,
+            "some of the 30 centroids must be lost on a 100-series population: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn churn_reduces_participation() {
+        let data = cer_data(1_000, 6);
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = greedy_config(4).with_iteration_churn(0.5);
+        let report = PerturbedKMeans::new(config).run(&data, &InitialCentroids::RandomFromData { k: 10 }, &mut rng);
+        for it in &report.iterations {
+            assert!(it.participating_series < 700, "about half the series should participate");
+            assert!(it.participating_series > 300);
+        }
+    }
+
+    #[test]
+    fn post_inertia_is_at_least_pre_inertia_on_average() {
+        // Perturbation cannot improve the inertia of the *same* assignment in
+        // expectation; allow slack for randomness on a single run.
+        let data = cer_data(2_000, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = PerturbedKMeans::new(greedy_config(5)).run(
+            &data,
+            &InitialCentroids::RandomFromData { k: 10 },
+            &mut rng,
+        );
+        let avg_pre: f64 =
+            report.iterations.iter().map(|it| it.pre_inertia).sum::<f64>() / report.num_iterations() as f64;
+        let avg_post: f64 =
+            report.iterations.iter().map(|it| it.post_inertia).sum::<f64>() / report.num_iterations() as f64;
+        assert!(avg_post >= avg_pre * 0.99, "avg post {avg_post} vs avg pre {avg_pre}");
+    }
+
+    #[test]
+    fn aberrant_sentinels_are_outside_the_data_range() {
+        let c = aberrant_centroid(24, 80.0, 3);
+        assert!(c.min() > 80.0 * 1e5);
+    }
+
+    #[test]
+    fn smoothing_window_is_even_and_positive() {
+        let s = TimeSeries::new((0..24).map(|i| i as f64).collect());
+        let smoothed = Smoothing::PAPER_DEFAULT.apply(&s);
+        assert_eq!(smoothed.len(), 24);
+        assert!((smoothed.mean() - s.mean()).abs() < 1e-9);
+        assert_eq!(Smoothing::None.apply(&s), s);
+    }
+}

@@ -1,0 +1,107 @@
+//! Small statistics helpers shared by the dataset generators, the evaluation
+//! harness and the tests.
+
+/// Arithmetic mean of a slice.  Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance of a slice.  Returns 0.0 for slices of length < 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Minimum of a slice (`+inf` for an empty slice).
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice (`-inf` for an empty slice).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Relative error `|approx - exact| / |exact|`; falls back to the absolute
+/// error when `exact` is zero.
+pub fn relative_error(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        approx.abs()
+    } else {
+        (approx - exact).abs() / exact.abs()
+    }
+}
+
+/// Summary of a sample: min / max / mean, as reported by the paper's local
+/// cost figures (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMaxAvg {
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean of the observations.
+    pub avg: f64,
+}
+
+impl MinMaxAvg {
+    /// Summarises a sample.  Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Self {
+            min: min(values),
+            max: max(values),
+            avg: mean(values),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert_eq!(variance(&v), 4.0);
+        assert_eq!(std_dev(&v), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_exact() {
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+        assert!((relative_error(101.0, 100.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_avg_summary() {
+        let s = MinMaxAvg::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.avg, 2.0);
+        assert!(MinMaxAvg::of(&[]).is_none());
+    }
+}

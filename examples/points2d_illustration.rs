@@ -1,0 +1,81 @@
+//! Two-dimensional illustration (Appendix D / Figure 6).
+//!
+//!     cargo run --release --example points2d_illustration -- [points]
+//!
+//! Clusters an A3-like set of 2-D points with the non-private k-means and
+//! with the perturbed k-means (GREEDY strategy, no smoothing — points have
+//! no temporal structure), then prints a coarse ASCII density map of the
+//! data with the positions of both centroid sets, which is the textual
+//! equivalent of the paper's scatter plots.
+
+use chiaroscuro::dp::budget::{BudgetSchedule, BudgetStrategy};
+use chiaroscuro::kmeans::init::InitialCentroids;
+use chiaroscuro::kmeans::lloyd::{KMeans, KMeansConfig};
+use chiaroscuro::kmeans::perturbed::{PerturbedKMeans, PerturbedKMeansConfig, Smoothing};
+use chiaroscuro::timeseries::datasets::points2d::Points2dGenerator;
+use chiaroscuro::timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GRID: usize = 40;
+
+fn main() {
+    let points: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let k = 50;
+    let generator = Points2dGenerator::new(3).with_duplication(100);
+    let (data, _) = generator.generate_labelled(points);
+    let init = InitialCentroids::Provided(generator.generate_initial_centroids(k));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let clear = KMeans::new(KMeansConfig { max_iterations: 8, convergence_threshold: 0.0 }).run(&data, &init, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = PerturbedKMeansConfig {
+        schedule: BudgetSchedule::new(BudgetStrategy::Greedy, 0.69, 8),
+        max_iterations: 8,
+        convergence_threshold: 0.0,
+        smoothing: Smoothing::None,
+        iteration_churn: 0.0,
+        gossip_error_bound: 0.0,
+    };
+    let private = PerturbedKMeans::new(config).run(&data, &init, &mut rng);
+
+    println!(
+        "{} points, k = {k}. Non-private best inertia {:.2}; Chiaroscuro (GREEDY) best inertia {:.2} at iteration {}.\n",
+        data.len(),
+        clear.pre_post().unwrap().pre,
+        private.pre_post().unwrap().pre,
+        private.pre_post().unwrap().best_iteration + 1
+    );
+
+    // ASCII map: '.' data density, 'o' non-private centroid, 'X' private centroid.
+    let mut grid = vec![vec![' '; GRID]; GRID];
+    for series in data.iter().take(20_000) {
+        let (col, row) = to_cell(series);
+        grid[row][col] = '.';
+    }
+    mark(&mut grid, &clear.final_centroids, 'o');
+    mark(&mut grid, &private.final_centroids, 'X');
+
+    println!("Legend: '.' data, 'o' non-private centroids, 'X' Chiaroscuro centroids\n");
+    for row in grid.iter().rev() {
+        println!("{}", row.iter().collect::<String>());
+    }
+}
+
+fn to_cell(point: &TimeSeries) -> (usize, usize) {
+    let clampf = |v: f64| v.clamp(0.0, 99.999) / 100.0;
+    let col = (clampf(point[0]) * GRID as f64) as usize;
+    let row = (clampf(point[1]) * GRID as f64) as usize;
+    (col.min(GRID - 1), row.min(GRID - 1))
+}
+
+fn mark(grid: &mut [Vec<char>], centroids: &[TimeSeries], symbol: char) {
+    for c in centroids {
+        if c[0].abs() > 1_000.0 || c[1].abs() > 1_000.0 {
+            continue; // aberrant centroid
+        }
+        let (col, row) = to_cell(c);
+        grid[row][col] = symbol;
+    }
+}
