@@ -14,21 +14,6 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
-    /// Parses from an explicit iterator (used by tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut values = HashMap::new();
-        let mut iter = args.into_iter().peekable();
-        while let Some(arg) = iter.next() {
-            let Some(key) = arg.strip_prefix("--") else { continue };
-            let value = match iter.peek() {
-                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
-                _ => "true".to_string(),
-            };
-            values.insert(key.to_string(), value);
-        }
-        Self { values }
-    }
-
     /// String option with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
         self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
@@ -42,6 +27,24 @@ impl Args {
     /// Boolean flag.
     pub fn flag(&self, key: &str) -> bool {
         matches!(self.values.get(key).map(String::as_str), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+/// Parses `--key value` and `--flag` pairs from an explicit iterator (used
+/// by [`Args::from_env`] and by tests).
+impl FromIterator<String> for Args {
+    fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else { continue };
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), value);
+        }
+        Self { values }
     }
 }
 

@@ -74,7 +74,7 @@ fn main() {
             &format!("Fig 2({}) — {}: pre-perturbation intra-cluster inertia per iteration", panel(dataset, 'a'), dataset.name()),
             &header_with_iterations("variant"),
         );
-        table.row(&row_from_series("Dataset inertia", &vec![full_inertia; MAX_ITERATIONS]));
+        table.row(&row_from_series("Dataset inertia", &[full_inertia; MAX_ITERATIONS]));
         table.row(&row_from_series("No perturbation", &mean_series(&baseline, |r| r.pre_inertia_series())));
         for (name, reports) in &variant_reports {
             table.row(&row_from_series(name, &mean_series(reports, |r| r.pre_inertia_series())));
@@ -87,7 +87,7 @@ fn main() {
             &format!("Fig 2({}) — {}: number of surviving centroids per iteration", panel(dataset, 'c'), dataset.name()),
             &header_with_iterations("variant"),
         );
-        table.row(&row_from_series("Initial number", &vec![k as f64; MAX_ITERATIONS]));
+        table.row(&row_from_series("Initial number", &[k as f64; MAX_ITERATIONS]));
         table.row(&row_from_series(
             "No perturbation",
             &mean_series(&baseline, |r| r.centroid_counts().iter().map(|&c| c as f64).collect()),
@@ -144,12 +144,12 @@ fn header_with_iterations(first: &str) -> Vec<&str> {
 /// Averages a per-iteration series over several runs, padding short runs
 /// with their last value (a run that stops early keeps its final state).
 fn mean_series(reports: &[RunReport], extract: impl Fn(&RunReport) -> Vec<f64>) -> Vec<f64> {
-    let mut acc = vec![0.0; MAX_ITERATIONS];
+    let mut acc = [0.0; MAX_ITERATIONS];
     for report in reports {
         let series = extract(report);
-        for i in 0..MAX_ITERATIONS {
+        for (i, slot) in acc.iter_mut().enumerate() {
             let value = series.get(i).copied().or_else(|| series.last().copied()).unwrap_or(0.0);
-            acc[i] += value;
+            *slot += value;
         }
     }
     acc.iter().map(|v| v / reports.len() as f64).collect()

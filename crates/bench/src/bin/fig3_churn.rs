@@ -47,7 +47,7 @@ fn quality_part(args: &Args) {
         "Fig 3(a) — CER: G_SMA pre-perturbation inertia per iteration under churn",
         &["variant", "it1", "it2", "it3", "it4", "it5", "it6", "it7", "it8", "it9", "it10"],
     );
-    table.row(&row(&"Dataset inertia", &vec![full_inertia; MAX_ITERATIONS]));
+    table.row(&row(&"Dataset inertia", &[full_inertia; MAX_ITERATIONS]));
     for churn in [0.0, 0.10, 0.25, 0.50] {
         let mut rng = StdRng::seed_from_u64(seed + (churn * 100.0) as u64);
         let config = PerturbedKMeansConfig {

@@ -334,7 +334,7 @@ mod tests {
         assert_eq!(fixed.exchanges_for(1_000_000, 24), 33);
         let derived = ChiaroscuroParams::builder().build();
         let ne = derived.exchanges_for(1_000_000, 24);
-        assert!(ne >= 10 && ne <= 100, "ne = {ne}");
+        assert!((10..=100).contains(&ne), "ne = {ne}");
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //!    its encrypted means (Diptych);
 //! 2. **Computation step** —
 //!    a. the encrypted means and the encrypted noise shares are summed by
-//!       the EESum gossip protocol (Algorithm 2), alongside a cleartext
-//!       contributor counter,
+//!    the EESum gossip protocol (Algorithm 2), alongside a cleartext
+//!    contributor counter,
 //!    b. the noise surplus correction is agreed upon by min-identifier
-//!       epidemic dissemination,
+//!    epidemic dissemination,
 //!    c. the perturbed encrypted means are threshold-decrypted with τ
-//!       distinct key-shares and smoothed;
+//!    distinct key-shares and smoothed;
 //! 3. **Convergence step** — the new perturbed centroids replace the old
 //!    ones until they converge or the iteration/budget limit is reached.
 //!

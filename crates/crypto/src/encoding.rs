@@ -56,7 +56,7 @@ impl FixedPointEncoder {
         let encoded = BigUint::from(magnitude as u128);
         let n_s = pk.plaintext_modulus();
         assert!(
-            &encoded < &(n_s / 2u32),
+            encoded < (n_s / 2u32),
             "encoded magnitude overflows the plaintext space"
         );
         if value < 0.0 && magnitude != 0.0 {
@@ -176,7 +176,7 @@ mod tests {
         let pk = pk();
         let coarse = FixedPointEncoder::new(0);
         let fine = FixedPointEncoder::new(6);
-        let v = 3.141_592;
+        let v = 3.362_592;
         assert!((coarse.decode(&coarse.encode(v, &pk), &pk) - 3.0).abs() < 1e-9);
         assert!((fine.decode(&fine.encode(v, &pk), &pk) - v).abs() < 1e-6);
     }

@@ -71,7 +71,7 @@ impl PublicKey {
 
     /// The size of one ciphertext in bytes (an element of `Z_{n^{s+1}}`).
     pub fn ciphertext_bytes(&self) -> usize {
-        ((self.n_s1.bits() + 7) / 8) as usize
+        self.n_s1.bits().div_ceil(8) as usize
     }
 }
 

@@ -32,7 +32,7 @@ impl Ciphertext {
 
     /// The serialised size of this ciphertext in bytes.
     pub fn byte_len(&self) -> usize {
-        ((self.value.bits() + 7) / 8).max(1) as usize
+        self.value.bits().div_ceil(8).max(1) as usize
     }
 }
 

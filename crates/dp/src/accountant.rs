@@ -215,7 +215,7 @@ mod tests {
         // error on a 1M population — check the formula stays in that order of
         // magnitude.
         let ne = exchanges_for(1_000_000, 1.0, 1e-9, 1e-5);
-        assert!(ne >= 30 && ne <= 110, "ne = {ne}");
+        assert!((30..=110).contains(&ne), "ne = {ne}");
     }
 
     #[test]

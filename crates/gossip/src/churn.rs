@@ -77,4 +77,40 @@ mod tests {
     fn probability_one_rejected() {
         ChurnModel::new(1.0);
     }
+
+    #[test]
+    #[should_panic(expected = "disconnection probability")]
+    fn negative_probability_rejected() {
+        ChurnModel::new(-0.1);
+    }
+
+    #[test]
+    fn zero_probability_consumes_no_randomness() {
+        // ChurnModel::NONE short-circuits, so a no-churn run must not burn
+        // RNG draws: the downstream gossip schedule stays identical whether
+        // the model was consulted or not.
+        let mut with_model = StdRng::seed_from_u64(7);
+        let without = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert!(ChurnModel::NONE.is_online(&mut with_model));
+        }
+        assert_eq!(with_model, without, "NONE must not advance the RNG");
+    }
+
+    #[test]
+    fn default_is_no_churn() {
+        assert_eq!(ChurnModel::default(), ChurnModel::NONE);
+        assert_eq!(ChurnModel::NONE.probability(), 0.0);
+        assert_eq!(ChurnModel::new(0.42).probability(), 0.42);
+    }
+
+    #[test]
+    fn extreme_churn_rate_is_still_sampled_correctly() {
+        let churn = ChurnModel::new(0.95);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let online = (0..n).filter(|_| churn.is_online(&mut rng)).count();
+        let rate = online as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "online rate = {rate}");
+    }
 }

@@ -222,6 +222,44 @@ mod tests {
     }
 
     #[test]
+    fn messages_are_exactly_twice_the_exchanges_at_any_churn_level() {
+        // The latency figures (§6.3.2) convert exchange counts into message
+        // counts assuming one request and one reply per push-pull exchange;
+        // that 2x invariant must hold whatever the churn model drops.
+        for (seed, churn) in [(1u64, 0.0), (2, 0.1), (3, 0.35), (4, 0.6)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = if churn == 0.0 { ChurnModel::NONE } else { ChurnModel::new(churn) };
+            let mut engine = GossipEngine::new(vec![0u64; 64], model);
+            engine.run_rounds(&MaxProtocol, 7, &mut rng);
+            let metrics = engine.metrics();
+            assert_eq!(metrics.messages(), 2 * metrics.exchanges(), "churn = {churn}");
+            assert_eq!(metrics.rounds(), 7, "rounds are counted even when churn empties them");
+            assert!(
+                metrics.exchanges() <= 7 * 64,
+                "at most one initiated exchange per node per round"
+            );
+            let per_node = metrics.messages_per_node(64);
+            assert!((per_node - metrics.messages() as f64 / 64.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_accounting_accumulates_across_protocol_phases() {
+        // The runner phases several protocols over the same population and
+        // sums their metrics; merged counters must preserve the invariant.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut first = GossipEngine::new(vec![0u64; 32], ChurnModel::NONE);
+        first.run_rounds(&MaxProtocol, 3, &mut rng);
+        let mut second = GossipEngine::new(vec![0u64; 32], ChurnModel::new(0.2));
+        second.run_rounds(&MaxProtocol, 4, &mut rng);
+        let mut total = *first.metrics();
+        total.merge(second.metrics());
+        assert_eq!(total.rounds(), 7);
+        assert_eq!(total.exchanges(), first.metrics().exchanges() + second.metrics().exchanges());
+        assert_eq!(total.messages(), 2 * total.exchanges());
+    }
+
+    #[test]
     fn run_until_stops_early_when_done() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut engine = GossipEngine::new(vec![7u64; 50], ChurnModel::NONE);

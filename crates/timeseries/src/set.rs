@@ -254,7 +254,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
             let c = set.churned(0.99, &mut rng);
-            assert!(c.len() >= 1);
+            assert!(!c.is_empty());
         }
     }
 

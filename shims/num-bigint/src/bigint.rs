@@ -1,0 +1,355 @@
+//! Signed arbitrary-precision integers (sign-magnitude over [`BigUint`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use num_integer::Integer;
+use num_traits::{One, Signed, Zero};
+
+use crate::biguint::BigUint;
+
+/// A signed big integer. Zero always has `sign == 0`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    /// -1, 0 or 1.
+    sign: i8,
+    mag: BigUint,
+}
+
+impl BigInt {
+    fn from_parts(sign: i8, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt { sign: 0, mag }
+        } else {
+            debug_assert!(sign == 1 || sign == -1);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The magnitude as a `BigUint` if the value is non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        if self.sign >= 0 {
+            Some(self.mag.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The absolute value's magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+}
+
+// --- conversions --------------------------------------------------------
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { 0 } else { 1 };
+        BigInt { sign, mag }
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                BigInt::from(BigUint::from(v))
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    BigInt::from_parts(-1, BigUint::from(v.unsigned_abs() as u128))
+                } else {
+                    BigInt::from(BigUint::from(v as u128))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, i128, isize);
+
+// --- comparisons --------------------------------------------------------
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {
+                let mag = self.mag.cmp(&other.mag);
+                if self.sign < 0 {
+                    mag.reverse()
+                } else {
+                    mag
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// --- arithmetic ---------------------------------------------------------
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    if a.sign == 0 {
+        return b.clone();
+    }
+    if b.sign == 0 {
+        return a.clone();
+    }
+    if a.sign == b.sign {
+        BigInt::from_parts(a.sign, &a.mag + &b.mag)
+    } else {
+        match a.mag.cmp(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_parts(a.sign, &a.mag - &b.mag),
+            Ordering::Less => BigInt::from_parts(b.sign, &b.mag - &a.mag),
+        }
+    }
+}
+
+impl std::ops::Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, rhs)
+    }
+}
+
+impl std::ops::Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, &-rhs)
+    }
+}
+
+impl std::ops::Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_parts(self.sign * rhs.sign, &self.mag * &rhs.mag)
+    }
+}
+
+/// Truncated division, like primitive integers and upstream `BigInt`.
+impl std::ops::Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        Integer::div_rem(self, rhs).0
+    }
+}
+
+/// Remainder with the dividend's sign, like primitive integers.
+impl std::ops::Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        Integer::div_rem(self, rhs).1
+    }
+}
+
+crate::biguint::forward_ref_binop!(impl Add, add for BigInt);
+crate::biguint::forward_ref_binop!(impl Sub, sub for BigInt);
+crate::biguint::forward_ref_binop!(impl Mul, mul for BigInt);
+crate::biguint::forward_ref_binop!(impl Div, div for BigInt);
+crate::biguint::forward_ref_binop!(impl Rem, rem for BigInt);
+
+impl std::ops::Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: -self.sign, mag: self.mag }
+    }
+}
+
+impl std::ops::Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+macro_rules! impl_assign_ops_int {
+    ($(($imp:ident, $method:ident, $op:tt)),*) => {$(
+        impl std::ops::$imp<BigInt> for BigInt {
+            fn $method(&mut self, rhs: BigInt) {
+                *self = &*self $op &rhs;
+            }
+        }
+        impl std::ops::$imp<&BigInt> for BigInt {
+            fn $method(&mut self, rhs: &BigInt) {
+                *self = &*self $op rhs;
+            }
+        }
+    )*};
+}
+
+impl_assign_ops_int!(
+    (AddAssign, add_assign, +),
+    (SubAssign, sub_assign, -),
+    (MulAssign, mul_assign, *),
+    (DivAssign, div_assign, /),
+    (RemAssign, rem_assign, %)
+);
+
+// --- num-traits / num-integer ------------------------------------------
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt { sign: 0, mag: BigUint::zero() }
+    }
+    fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt { sign: 1, mag: BigUint::one() }
+    }
+    fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag.is_one()
+    }
+}
+
+impl Signed for BigInt {
+    fn abs(&self) -> Self {
+        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+    fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+    fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+}
+
+impl Integer for BigInt {
+    /// Truncated `(quotient, remainder)`: `q = trunc(a/b)`, `r = a - q·b`
+    /// (the remainder carries the dividend's sign).
+    fn div_rem(&self, other: &Self) -> (Self, Self) {
+        let (q, r) = Integer::div_rem(&self.mag, &other.mag);
+        (
+            BigInt::from_parts(self.sign * other.sign, q),
+            BigInt::from_parts(self.sign, r),
+        )
+    }
+    fn gcd(&self, other: &Self) -> Self {
+        BigInt::from(self.mag.gcd(&other.mag))
+    }
+    fn lcm(&self, other: &Self) -> Self {
+        BigInt::from(Integer::lcm(&self.mag, &other.mag))
+    }
+    fn div_floor(&self, other: &Self) -> Self {
+        let (q, r) = Integer::div_rem(self, other);
+        if !r.is_zero() && (r.sign < 0) != (other.sign < 0) {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+    fn mod_floor(&self, other: &Self) -> Self {
+        let r = self % other;
+        if !r.is_zero() && (r.sign < 0) != (other.sign < 0) {
+            r + other
+        } else {
+            r
+        }
+    }
+    fn is_even(&self) -> bool {
+        self.mag.is_even()
+    }
+    fn is_odd(&self) -> bool {
+        self.mag.is_odd()
+    }
+    fn is_multiple_of(&self, other: &Self) -> bool {
+        Integer::is_multiple_of(&self.mag, &other.mag)
+    }
+}
+
+// --- formatting ---------------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        fmt::Display::fmt(&self.mag, f)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128() {
+        let cases = [(5i128, 3i128), (-5, 3), (5, -3), (-5, -3), (0, 7), (7, 7), (-7, 7)];
+        for (a, b) in cases {
+            assert_eq!(int(a) + int(b), int(a + b), "{a} + {b}");
+            assert_eq!(int(a) - int(b), int(a - b), "{a} - {b}");
+            assert_eq!(int(a) * int(b), int(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_division_matches_i128() {
+        let cases = [(7i128, 2i128), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3)];
+        for (a, b) in cases {
+            assert_eq!(int(a) / int(b), int(a / b), "{a} / {b}");
+            assert_eq!(int(a) % int(b), int(a % b), "{a} % {b}");
+            let (q, r) = Integer::div_rem(&int(a), &int(b));
+            assert_eq!((q, r), (int(a / b), int(a % b)), "div_rem {a} {b}");
+        }
+    }
+
+    #[test]
+    fn negation_and_signs() {
+        assert!(int(-4).is_negative());
+        assert!(int(4).is_positive());
+        assert!(!int(0).is_negative() && !int(0).is_positive());
+        assert_eq!(-int(5), int(-5));
+        assert_eq!(int(-5).abs(), int(5));
+        assert_eq!(-&int(7), int(-7));
+    }
+
+    #[test]
+    fn to_biguint_only_for_non_negative() {
+        assert_eq!(int(42).to_biguint(), Some(BigUint::from(42u32)));
+        assert_eq!(int(0).to_biguint(), Some(BigUint::zero()));
+        assert_eq!(int(-1).to_biguint(), None);
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![int(3), int(-10), int(0), int(7), int(-2)];
+        v.sort();
+        assert_eq!(v, vec![int(-10), int(-2), int(0), int(3), int(7)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(-12345).to_string(), "-12345");
+        assert_eq!(int(0).to_string(), "0");
+    }
+}

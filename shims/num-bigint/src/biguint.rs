@@ -1,0 +1,846 @@
+//! Unsigned arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use num_integer::Integer;
+use num_traits::{One, Zero};
+
+/// An unsigned big integer: little-endian 64-bit limbs, normalized so the
+/// top limb is non-zero (zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+// --- limb-level kernels -------------------------------------------------
+
+fn normalize(limbs: &mut Vec<u64>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u128;
+    for (i, &limb) in long.iter().enumerate() {
+        let sum = limb as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
+        out.push(sum as u64);
+        carry = sum >> 64;
+    }
+    if carry > 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// `a - b`; requires `a >= b`.
+fn sub_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(cmp_limbs(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i128;
+    for (i, &limb) in a.iter().enumerate() {
+        let diff = limb as i128 - *b.get(i).unwrap_or(&0) as i128 + borrow;
+        out.push(diff as u64);
+        borrow = diff >> 64; // arithmetic shift: 0 or -1
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+    normalize(&mut out);
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        // Position i + b.len() is untouched by earlier rows, so the carry
+        // always fits without a further ripple.
+        out[i + b.len()] = carry as u64;
+    }
+    normalize(&mut out);
+    out
+}
+
+fn shl_limbs(a: &[u64], bits: usize) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; a.len() + limb_shift + 1];
+    for (i, &limb) in a.iter().enumerate() {
+        if bit_shift == 0 {
+            out[i + limb_shift] = limb;
+        } else {
+            out[i + limb_shift] |= limb << bit_shift;
+            out[i + limb_shift + 1] |= limb >> (64 - bit_shift);
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+fn shr_limbs(a: &[u64], bits: usize) -> Vec<u64> {
+    let limb_shift = bits / 64;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = bits % 64;
+    let mut out = Vec::with_capacity(a.len() - limb_shift);
+    for i in limb_shift..a.len() {
+        let mut limb = a[i] >> bit_shift;
+        if bit_shift > 0 {
+            if let Some(&next) = a.get(i + 1) {
+                limb |= next << (64 - bit_shift);
+            }
+        }
+        out.push(limb);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Division by a single limb.
+fn div_rem_small(u: &[u64], d: u64) -> (Vec<u64>, u64) {
+    assert!(d != 0, "division by zero");
+    let mut q = vec![0u64; u.len()];
+    let mut rem = 0u128;
+    for i in (0..u.len()).rev() {
+        let cur = (rem << 64) | u[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    normalize(&mut q);
+    (q, rem as u64)
+}
+
+/// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
+/// Requires `v.len() >= 2` and `u >= v`.
+fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = v.len();
+    let m = u.len();
+    debug_assert!(n >= 2 && m >= n);
+
+    // D1: normalize so the top divisor limb has its high bit set.
+    let s = v[n - 1].leading_zeros() as usize;
+    let vn = shl_limbs(v, s);
+    debug_assert_eq!(vn.len(), n);
+    let mut un = shl_limbs(u, s);
+    un.resize(m + 1, 0); // extra high limb for the first iteration
+
+    let mut q = vec![0u64; m - n + 1];
+    // D2..D7: one quotient limb per round, most significant first.
+    for j in (0..=m - n).rev() {
+        // D3: estimate q̂ from the top two dividend limbs and the top
+        // divisor limb, then correct it with the second divisor limb
+        // (at most two corrections, per Knuth's theorem).
+        let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = numer / vn[n - 1] as u128;
+        let mut rhat = numer % vn[n - 1] as u128;
+        loop {
+            if qhat >> 64 != 0
+                || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat >> 64 == 0 {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // D4: multiply-and-subtract q̂·v from the current dividend window.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[i + j] as i128 - (p as u64) as i128 + borrow;
+            un[i + j] = t as u64;
+            borrow = t >> 64; // 0 or -1
+        }
+        let t = un[j + n] as i128 - carry as i128 + borrow;
+        un[j + n] = t as u64;
+
+        // D6: q̂ was one too large (probability ~2⁻⁶⁴): add one divisor back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let sum = un[i + j] as u128 + vn[i] as u128 + carry;
+                un[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = shr_limbs(&un[..n], s);
+    normalize(&mut q);
+    (q, rem)
+}
+
+fn div_rem_limbs(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!v.is_empty(), "division by zero");
+    match cmp_limbs(u, v) {
+        Ordering::Less => (Vec::new(), u.to_vec()),
+        Ordering::Equal => (vec![1], Vec::new()),
+        Ordering::Greater => {
+            if v.len() == 1 {
+                let (q, r) = div_rem_small(u, v[0]);
+                (q, if r == 0 { Vec::new() } else { vec![r] })
+            } else {
+                div_rem_knuth(u, v)
+            }
+        }
+    }
+}
+
+// --- public API ---------------------------------------------------------
+
+impl BigUint {
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        normalize(&mut limbs);
+        Self { limbs }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() as u64 - 1) + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Sets or clears one bit, growing the number as needed.
+    pub fn set_bit(&mut self, bit: u64, value: bool) {
+        let limb = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !mask;
+            normalize(&mut self.limbs);
+        }
+    }
+
+    /// Tests one bit.
+    pub fn bit(&self, bit: u64) -> bool {
+        let limb = (bit / 64) as usize;
+        limb < self.limbs.len() && self.limbs[limb] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// `self^exponent mod modulus` by left-to-right binary exponentiation.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let base = self % modulus;
+        let mut result = BigUint::one();
+        let bits = exponent.bits();
+        for i in (0..bits).rev() {
+            result = &result * &result % modulus;
+            if exponent.bit(i) {
+                result = &result * &base % modulus;
+            }
+        }
+        result
+    }
+
+    /// `self^exponent` (plain integer power).
+    pub fn pow(&self, exponent: u32) -> BigUint {
+        let mut result = BigUint::one();
+        let mut base = self.clone();
+        let mut e = exponent;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// Integer square root (largest `r` with `r² ≤ self`).
+    pub fn sqrt(&self) -> BigUint {
+        if self.limbs.len() <= 1 {
+            let v = self.limbs.first().copied().unwrap_or(0);
+            // f64 sqrt is only a seed: above ~2^53 it can land one off in
+            // either direction, so correct it exactly.
+            let mut r = (v as f64).sqrt() as u64;
+            while r > 0 && r.checked_mul(r).is_none_or(|sq| sq > v) {
+                r -= 1;
+            }
+            while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= v) {
+                r += 1;
+            }
+            return BigUint::from(r);
+        }
+        // Newton's method from a high starting point.
+        let mut x = BigUint::one() << ((self.bits() / 2 + 1) as u32);
+        loop {
+            let next = (&x + self / &x) / 2u32;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Big-endian byte encoding (empty-free: zero encodes as `[0]`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![0];
+        }
+        let mut bytes: Vec<u8> = self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        bytes.reverse();
+        bytes
+    }
+
+    /// Parses a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// The little-endian 64-bit digits.
+    pub fn to_u64_digits(&self) -> Vec<u64> {
+        self.limbs.clone()
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+}
+
+// --- conversions --------------------------------------------------------
+
+macro_rules! impl_from_small_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from_limbs(vec![v as u64])
+            }
+        }
+    )*};
+}
+
+impl_from_small_uint!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+// --- comparisons --------------------------------------------------------
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// --- arithmetic operators ----------------------------------------------
+
+/// Implements all four owned/borrowed combinations of a binary operator by
+/// delegating to the `&T op &T` implementation.
+macro_rules! forward_ref_binop {
+    (impl $imp:ident, $method:ident for $t:ty) => {
+        impl std::ops::$imp<$t> for $t {
+            type Output = $t;
+            fn $method(self, rhs: $t) -> $t {
+                std::ops::$imp::$method(&self, &rhs)
+            }
+        }
+        impl std::ops::$imp<&$t> for $t {
+            type Output = $t;
+            fn $method(self, rhs: &$t) -> $t {
+                std::ops::$imp::$method(&self, rhs)
+            }
+        }
+        impl std::ops::$imp<$t> for &$t {
+            type Output = $t;
+            fn $method(self, rhs: $t) -> $t {
+                std::ops::$imp::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+pub(crate) use forward_ref_binop;
+
+impl std::ops::Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint { limbs: add_limbs(&self.limbs, &rhs.limbs) }
+    }
+}
+
+impl std::ops::Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        BigUint { limbs: sub_limbs(&self.limbs, &rhs.limbs) }
+    }
+}
+
+impl std::ops::Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint { limbs: mul_limbs(&self.limbs, &rhs.limbs) }
+    }
+}
+
+impl std::ops::Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        BigUint { limbs: div_rem_limbs(&self.limbs, &rhs.limbs).0 }
+    }
+}
+
+impl std::ops::Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        BigUint { limbs: div_rem_limbs(&self.limbs, &rhs.limbs).1 }
+    }
+}
+
+forward_ref_binop!(impl Add, add for BigUint);
+forward_ref_binop!(impl Sub, sub for BigUint);
+forward_ref_binop!(impl Mul, mul for BigUint);
+forward_ref_binop!(impl Div, div for BigUint);
+forward_ref_binop!(impl Rem, rem for BigUint);
+
+/// Mixed operations with primitive unsigned integers.
+macro_rules! impl_scalar_ops {
+    ($($t:ty),*) => {$(
+        impl std::ops::Div<$t> for &BigUint {
+            type Output = BigUint;
+            fn div(self, rhs: $t) -> BigUint {
+                self / &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Div<$t> for BigUint {
+            type Output = BigUint;
+            fn div(self, rhs: $t) -> BigUint {
+                &self / &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Rem<$t> for &BigUint {
+            type Output = BigUint;
+            fn rem(self, rhs: $t) -> BigUint {
+                self % &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Rem<$t> for BigUint {
+            type Output = BigUint;
+            fn rem(self, rhs: $t) -> BigUint {
+                &self % &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Mul<$t> for &BigUint {
+            type Output = BigUint;
+            fn mul(self, rhs: $t) -> BigUint {
+                self * &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Mul<$t> for BigUint {
+            type Output = BigUint;
+            fn mul(self, rhs: $t) -> BigUint {
+                &self * &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Add<$t> for &BigUint {
+            type Output = BigUint;
+            fn add(self, rhs: $t) -> BigUint {
+                self + &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Add<$t> for BigUint {
+            type Output = BigUint;
+            fn add(self, rhs: $t) -> BigUint {
+                &self + &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Sub<$t> for &BigUint {
+            type Output = BigUint;
+            fn sub(self, rhs: $t) -> BigUint {
+                self - &BigUint::from(rhs)
+            }
+        }
+        impl std::ops::Sub<$t> for BigUint {
+            type Output = BigUint;
+            fn sub(self, rhs: $t) -> BigUint {
+                &self - &BigUint::from(rhs)
+            }
+        }
+    )*};
+}
+
+impl_scalar_ops!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_assign_ops {
+    ($(($imp:ident, $method:ident, $op:tt)),*) => {$(
+        impl std::ops::$imp<BigUint> for BigUint {
+            fn $method(&mut self, rhs: BigUint) {
+                *self = &*self $op &rhs;
+            }
+        }
+        impl std::ops::$imp<&BigUint> for BigUint {
+            fn $method(&mut self, rhs: &BigUint) {
+                *self = &*self $op rhs;
+            }
+        }
+    )*};
+}
+
+impl_assign_ops!(
+    (AddAssign, add_assign, +),
+    (SubAssign, sub_assign, -),
+    (MulAssign, mul_assign, *),
+    (DivAssign, div_assign, /),
+    (RemAssign, rem_assign, %)
+);
+
+macro_rules! impl_shifts {
+    ($($t:ty),*) => {$(
+        impl std::ops::Shl<$t> for BigUint {
+            type Output = BigUint;
+            fn shl(self, rhs: $t) -> BigUint {
+                &self << rhs
+            }
+        }
+        impl std::ops::Shl<$t> for &BigUint {
+            type Output = BigUint;
+            fn shl(self, rhs: $t) -> BigUint {
+                BigUint { limbs: shl_limbs(&self.limbs, rhs as usize) }
+            }
+        }
+        impl std::ops::Shr<$t> for BigUint {
+            type Output = BigUint;
+            fn shr(self, rhs: $t) -> BigUint {
+                &self >> rhs
+            }
+        }
+        impl std::ops::Shr<$t> for &BigUint {
+            type Output = BigUint;
+            fn shr(self, rhs: $t) -> BigUint {
+                BigUint { limbs: shr_limbs(&self.limbs, rhs as usize) }
+            }
+        }
+        impl std::ops::ShlAssign<$t> for BigUint {
+            fn shl_assign(&mut self, rhs: $t) {
+                self.limbs = shl_limbs(&self.limbs, rhs as usize);
+            }
+        }
+        impl std::ops::ShrAssign<$t> for BigUint {
+            fn shr_assign(&mut self, rhs: $t) {
+                self.limbs = shr_limbs(&self.limbs, rhs as usize);
+            }
+        }
+    )*};
+}
+
+impl_shifts!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- num-traits / num-integer ------------------------------------------
+
+impl Zero for BigUint {
+    fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+    fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+}
+
+impl Integer for BigUint {
+    fn div_rem(&self, other: &Self) -> (Self, Self) {
+        let (q, r) = div_rem_limbs(&self.limbs, &other.limbs);
+        (BigUint { limbs: q }, BigUint { limbs: r })
+    }
+    fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    fn lcm(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            BigUint::zero()
+        } else {
+            self / self.gcd(other) * other
+        }
+    }
+    fn div_floor(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn mod_floor(&self, other: &Self) -> Self {
+        self % other
+    }
+    fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+    fn is_odd(&self) -> bool {
+        !Integer::is_even(self)
+    }
+    fn is_multiple_of(&self, other: &Self) -> bool {
+        if other.is_zero() {
+            self.is_zero()
+        } else {
+            (self % other).is_zero()
+        }
+    }
+}
+
+// --- formatting ---------------------------------------------------------
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by the largest power of ten in a limb.
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut limbs = self.limbs.clone();
+        let mut chunks = Vec::new();
+        while !limbs.is_empty() {
+            let (q, r) = div_rem_small(&limbs, CHUNK);
+            chunks.push(r);
+            limbs = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap_or(0))?;
+        for chunk in chunks.iter().rev() {
+            write!(f, "{chunk:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = big(0xFFFF_FFFF_FFFF_FFFF_FFFF);
+        let b = big(0x1_0000_0001);
+        assert_eq!(&(&a + &b) - &b, a);
+        assert_eq!(&a - &a, BigUint::zero());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (x, y) in [(0u128, 5), (7, 9), (u64::MAX as u128, u64::MAX as u128), (123_456_789, 987_654_321)] {
+            assert_eq!(big(x) * big(y), big(x * y));
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        for (x, y) in [(100u128, 7u128), (u128::MAX / 3, 17), (12_345_678_901_234_567_890, 97)] {
+            let (q, r) = (x / y, x % y);
+            assert_eq!(&big(x) / &big(y), big(q));
+            assert_eq!(&big(x) % &big(y), big(r));
+        }
+    }
+
+    #[test]
+    fn knuth_division_exercises_addback_region() {
+        // Multi-limb divisors with top limbs that force q̂ corrections.
+        let a = (BigUint::one() << 200u32) - BigUint::one();
+        let b = (BigUint::one() << 100u32) + BigUint::from(3u32);
+        let (q, r) = Integer::div_rem(&a, &b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn division_reconstruction_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let a_limbs: Vec<u64> = (0..rng.gen_range(1..6usize)).map(|_| rng.gen()).collect();
+            let b_limbs: Vec<u64> = (0..rng.gen_range(1..4usize)).map(|_| rng.gen()).collect();
+            let a = BigUint::from_limbs(a_limbs);
+            let b = BigUint::from_limbs(b_limbs);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = Integer::div_rem(&a, &b);
+            assert_eq!(&q * &b + &r, a, "reconstruction failed");
+            assert!(r < b, "remainder must be below the divisor");
+        }
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let m = big(1_000_000_007);
+        let base = big(31_337);
+        let mut naive = BigUint::one();
+        for e in 0..50u64 {
+            assert_eq!(base.modpow(&BigUint::from(e), &m), naive, "e = {e}");
+            naive = naive * &base % &m;
+        }
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // p prime => a^(p-1) = 1 mod p.
+        let p = big(1_000_000_007);
+        for a in [2u64, 3, 65_537, 123_456_789] {
+            assert_eq!(big(a as u128).modpow(&(&p - 1u32), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn bits_and_set_bit() {
+        let mut x = BigUint::zero();
+        assert_eq!(x.bits(), 0);
+        x.set_bit(127, true);
+        assert_eq!(x.bits(), 128);
+        assert_eq!(x, BigUint::one() << 127u32);
+        x.set_bit(0, true);
+        assert!(x.is_odd());
+        x.set_bit(127, false);
+        assert_eq!(x, BigUint::one());
+    }
+
+    #[test]
+    fn byte_codec_round_trip() {
+        for v in [0u128, 1, 255, 256, u64::MAX as u128 + 12_345] {
+            let x = big(v);
+            assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+        }
+        let large = (BigUint::one() << 300u32) - BigUint::from(9u32);
+        assert_eq!(BigUint::from_bytes_be(&large.to_bytes_be()), large);
+    }
+
+    #[test]
+    fn display_matches_u128_formatting() {
+        for v in [0u128, 9, 10, 12_345_678_901_234_567_890_123_456_789u128] {
+            assert_eq!(big(v).to_string(), v.to_string());
+        }
+        // A value needing more than one 10^19 chunk with internal zero padding.
+        let x = big(100_000_000_000_000_000_000_000u128);
+        assert_eq!(x.to_string(), "100000000000000000000000");
+    }
+
+    #[test]
+    fn pow_and_sqrt() {
+        assert_eq!(big(7).pow(0), BigUint::one());
+        assert_eq!(big(7).pow(3), big(343));
+        let x = big(144);
+        assert_eq!(x.sqrt(), big(12));
+        // Single-limb values past 2^53, where the f64 seed is inexact.
+        assert_eq!(big(u64::MAX as u128).sqrt(), big((1u128 << 32) - 1));
+        let k = 3_037_000_499u128; // floor(sqrt(2^63)) + margin
+        assert_eq!(big(k * k).sqrt(), big(k));
+        assert_eq!(big(k * k - 1).sqrt(), big(k - 1));
+        assert_eq!(big(k * k + 1).sqrt(), big(k));
+        let big_square = big(123_456_789) * big(123_456_789);
+        assert_eq!(big_square.sqrt(), big(123_456_789));
+        let huge = (BigUint::one() << 130u32) + BigUint::one();
+        let r = huge.sqrt();
+        assert!(&r * &r <= huge && &(&r + 1u32) * &(&r + 1u32) > huge);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+    }
+
+    #[test]
+    fn shifts() {
+        let one = BigUint::one();
+        assert_eq!((&one << 64u32) >> 64u32, one);
+        let mut d = big(40);
+        d >>= 1;
+        assert_eq!(d, big(20));
+        assert_eq!(big(5) << 2u32, big(20));
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `num-bigint` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships a
+//! real — not mocked — arbitrary-precision integer implementation covering
+//! the API subset the Damgård–Jurik crypto substrate uses: schoolbook
+//! multiplication, Knuth Algorithm D division, binary modular
+//! exponentiation, Euclidean gcd, bit manipulation, byte/limb codecs and the
+//! `RandBigInt` sampling extension over the workspace's `rand` shim.
+//!
+//! Numbers in this workspace stay below ~4096 bits (the paper's 1024-bit
+//! RSA moduli with Damgård–Jurik exponent `s ≤ 2` give `n^{s+1}` ≈ 3072
+//! bits), so the quadratic algorithms are the right trade-off: no Karatsuba,
+//! no Montgomery, just carefully tested limb arithmetic.
+
+mod bigint;
+mod biguint;
+mod rand_support;
+
+pub use bigint::BigInt;
+pub use biguint::BigUint;
+pub use rand_support::RandBigInt;

@@ -1,0 +1,101 @@
+//! Random big-integer sampling over the workspace's `rand` shim.
+
+use num_traits::Zero;
+use rand::Rng;
+
+use crate::biguint::BigUint;
+
+/// Extension methods for sampling big integers, mirroring upstream
+/// `num_bigint::RandBigInt`.
+pub trait RandBigInt {
+    /// A uniform integer with at most `bits` bits.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+
+    /// A uniform integer in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+}
+
+impl<R: Rng + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        let limbs = bits.div_ceil(64) as usize;
+        let mut raw: Vec<u64> = (0..limbs).map(|_| self.gen::<u64>()).collect();
+        let excess = (limbs as u64 * 64).saturating_sub(bits);
+        if excess > 0 {
+            if let Some(top) = raw.last_mut() {
+                *top >>= excess;
+            }
+        }
+        BigUint::from_limbs(raw)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "cannot sample below zero");
+        let bits = bound.bits();
+        // Rejection sampling: each draw succeeds with probability > 1/2.
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "cannot sample from an empty range");
+        low + self.gen_biguint_below(&(high - low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gen_biguint_respects_bit_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1u64, 7, 64, 65, 130] {
+            for _ in 0..50 {
+                assert!(rng.gen_biguint(bits).bits() <= bits);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_biguint_below_stays_below() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = BigUint::from(1_000_000u32);
+        for _ in 0..1_000 {
+            assert!(rng.gen_biguint_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn gen_biguint_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = BigUint::from(500u32);
+        let hi = BigUint::from(600u32);
+        let mut seen_low_half = false;
+        let mut seen_high_half = false;
+        for _ in 0..500 {
+            let x = rng.gen_biguint_range(&lo, &hi);
+            assert!(x >= lo && x < hi);
+            if x < BigUint::from(550u32) {
+                seen_low_half = true;
+            } else {
+                seen_high_half = true;
+            }
+        }
+        assert!(seen_low_half && seen_high_half, "sampling must cover the range");
+    }
+}

@@ -1,0 +1,82 @@
+//! `any::<T>()` — strategies for the full value domain of a type.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite values over a wide magnitude spread (no NaN/infinity: the
+    /// workspace's properties all assume finite inputs, as upstream tests
+    /// do by construction via ranges).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let magnitude = 10f64.powi(rng.gen_range(-3i32..9));
+        (rng.gen::<f64>() * 2.0 - 1.0) * magnitude
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = any::<u64>();
+        let a = strat.generate(&mut rng);
+        let b = strat.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = any::<f64>();
+        for _ in 0..1_000 {
+            assert!(strat.generate(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Configuration and the deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cases run when nothing is configured (bounded so `cargo test -q` over
+/// the whole workspace stays under a couple of minutes).
+pub const DEFAULT_CASES: u32 = 24;
+
+/// Upper bound applied to explicit `with_cases` requests; the
+/// `PROPTEST_CASES` environment variable bypasses the cap for deliberate
+/// deep runs.
+pub const MAX_CASES: u32 = 64;
+
+/// Per-suite configuration (the subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Requested number of cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: DEFAULT_CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The effective case count: `PROPTEST_CASES` from the environment if
+    /// set, otherwise the configured count capped at [`MAX_CASES`].
+    pub fn resolved_cases(&self) -> u32 {
+        if let Ok(env) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = env.trim().parse::<u32>() {
+                return n.max(1);
+            }
+        }
+        self.cases.clamp(1, MAX_CASES)
+    }
+}
+
+/// An error failing one test case (created by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a, so case seeds depend on the test name but not on link order.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The deterministic RNG for one named test's `case`-th input.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(test_name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn case_rngs_differ_across_cases_and_names() {
+        let a: u64 = case_rng("test_a", 0).gen();
+        let b: u64 = case_rng("test_a", 1).gen();
+        let c: u64 = case_rng("test_b", 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Determinism.
+        assert_eq!(a, case_rng("test_a", 0).gen::<u64>());
+    }
+
+    #[test]
+    fn config_resolution_caps_explicit_requests() {
+        // The env var may be set by the harness; only exercise the no-env
+        // path when it is absent.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::default().resolved_cases(), DEFAULT_CASES);
+            assert_eq!(ProptestConfig::with_cases(1_000).resolved_cases(), MAX_CASES);
+            assert_eq!(ProptestConfig::with_cases(8).resolved_cases(), 8);
+        }
+    }
+}
