@@ -51,6 +51,15 @@ pub struct ChiaroscuroParams {
     pub gossip_error_bound: f64,
     /// Per-exchange disconnection probability (churn).
     pub churn: f64,
+
+    // --- execution ---
+    /// Worker threads for the crypto hot path (per-participant encryption
+    /// and threshold decryption).  `1` runs strictly serially on the caller
+    /// thread; `0` auto-selects the machine's available parallelism.  The
+    /// result is bit-identical whatever the value (each participant draws
+    /// from its own seed-derived RNG stream), so the scenario matrix can
+    /// exercise both paths deterministically.
+    pub pool_threads: usize,
 }
 
 impl ChiaroscuroParams {
@@ -84,6 +93,19 @@ impl ChiaroscuroParams {
         ) as u32
     }
 
+    /// The exchange count the runner actually uses: an explicit
+    /// `.exchanges(n)` override is honored **verbatim** (the user asked for
+    /// exactly that schedule); only the Theorem-3-derived value is clamped
+    /// into the simulation's practical `[8, 48]` band (below 8 the epidemic
+    /// weight may not have spread, above 48 the runs waste wall-clock for no
+    /// accuracy gain at simulated scales).
+    pub fn effective_exchanges(&self, population: usize, series_length: usize) -> u32 {
+        match self.exchanges_override {
+            Some(n) => n,
+            None => self.exchanges_for(population, series_length).clamp(8, 48),
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -100,6 +122,31 @@ impl ChiaroscuroParams {
         assert!(self.view_size >= 1);
         assert!((0.0..1.0).contains(&self.churn));
         assert!(self.gossip_error_bound >= 0.0 && self.gossip_error_bound < 1.0);
+        if let Some(n) = self.exchanges_override {
+            // Overrides pass through to the runner verbatim (no clamping),
+            // so zero would silently skip aggregation altogether.
+            assert!(n >= 1, "an explicit exchanges override must be at least 1");
+        }
+    }
+
+    /// Validates consistency against a concrete population size: the number
+    /// of noise shares `nν` is the *expected lower bound* on contributors
+    /// (§4.2.2), so a population smaller than `nν` is a standing noise
+    /// deficit — the aggregated Laplace noise would be systematically under
+    /// the calibrated scale and the ε guarantee would silently not hold.
+    ///
+    /// # Panics
+    /// Panics if `num_noise_shares > population` (or if [`Self::validate`]
+    /// fails).
+    pub fn validate_for_population(&self, population: usize) {
+        self.validate();
+        assert!(
+            self.num_noise_shares <= population,
+            "num_noise_shares ({}) exceeds the population ({}): the collaborative noise \
+             would be a permanent deficit and the DP guarantee would not hold",
+            self.num_noise_shares,
+            population
+        );
     }
 }
 
@@ -129,6 +176,7 @@ impl Default for ChiaroscuroParamsBuilder {
                 exchanges_override: None,
                 gossip_error_bound: 1e-3,
                 churn: 0.0,
+                pool_threads: 1,
             },
         }
     }
@@ -204,6 +252,12 @@ impl ChiaroscuroParamsBuilder {
     /// Sets the local-view size Λ.
     pub fn view_size(mut self, view_size: usize) -> Self {
         self.params.view_size = view_size;
+        self
+    }
+
+    /// Sets the crypto worker-thread count (1 = serial, 0 = auto-detect).
+    pub fn pool_threads(mut self, pool_threads: usize) -> Self {
+        self.params.pool_threads = pool_threads;
         self
     }
 
@@ -335,6 +389,49 @@ mod tests {
         let derived = ChiaroscuroParams::builder().build();
         let ne = derived.exchanges_for(1_000_000, 24);
         assert!((10..=100).contains(&ne), "ne = {ne}");
+    }
+
+    #[test]
+    fn explicit_exchange_override_is_honored_verbatim_outside_the_clamp_band() {
+        // Regression: the runner used to clamp the user's explicit override
+        // into [8, 48] too.  An override must pass through untouched...
+        for requested in [4u32, 6, 60, 200] {
+            let p = ChiaroscuroParams::builder().exchanges(requested).build();
+            assert_eq!(p.effective_exchanges(1_000, 24), requested, "override {requested}");
+        }
+        // ...while the Theorem-3-derived value is still clamped to [8, 48].
+        let mut derived = ChiaroscuroParams::builder().build();
+        derived.gossip_error_bound = 0.9; // cheap target -> tiny derived ne
+        let lo = derived.effective_exchanges(4, 2);
+        assert!(lo >= 8, "derived value must be clamped up, got {lo}");
+        derived.gossip_error_bound = 1e-12; // brutal target -> huge derived ne
+        let hi = derived.effective_exchanges(3_000_000, 24);
+        assert!(hi <= 48, "derived value must be clamped down, got {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exchanges override must be at least 1")]
+    fn zero_exchange_override_rejected() {
+        // Overrides are honored verbatim, so zero would mean "no gossip at
+        // all" and a reference node reporting its own values as aggregates.
+        ChiaroscuroParams::builder().exchanges(0).build();
+    }
+
+    #[test]
+    fn population_validation_rejects_noise_share_deficit() {
+        let p = ChiaroscuroParams::builder().num_noise_shares(100).build();
+        p.validate_for_population(100); // exactly enough contributors is fine
+        p.validate_for_population(5_000);
+        let err = std::panic::catch_unwind(|| p.validate_for_population(99));
+        assert!(err.is_err(), "nν > population must be rejected");
+    }
+
+    #[test]
+    fn pool_threads_knob_round_trips() {
+        assert_eq!(ChiaroscuroParams::builder().build().pool_threads, 1, "serial by default");
+        let p = ChiaroscuroParams::builder().pool_threads(4).build();
+        assert_eq!(p.pool_threads, 4);
+        ChiaroscuroParams::builder().pool_threads(0).build().validate(); // 0 = auto is valid
     }
 
     #[test]

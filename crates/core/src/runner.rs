@@ -27,6 +27,18 @@
 //! homomorphically before decryption.  The correction is data- and
 //! noise-independent cleartext, so the security argument (Lemma 3) is
 //! unchanged; only the ordering differs.
+//!
+//! # Parallel execution
+//!
+//! The two crypto hot spots — the per-participant Diptych/noise encryption
+//! (every participant's work is independent) and the `k·(n+1)` threshold
+//! decryptions (every ciphertext's τ partial decryptions + combine are
+//! independent) — run on a scoped thread pool sized by
+//! [`ChiaroscuroParams::pool_threads`].  Determinism is preserved by
+//! construction: every participant encrypts under its own RNG stream whose
+//! seed is drawn from the master RNG *before* dispatch, and decryption
+//! consumes no randomness, so the same seed produces bit-identical outputs
+//! whatever the thread count (the scenario matrix asserts this).
 
 use std::sync::Arc;
 
@@ -40,7 +52,7 @@ use chiaroscuro_crypto::scheme::Ciphertext;
 use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
 use chiaroscuro_dp::laplace::{LaplaceMechanism, Sensitivity};
 use chiaroscuro_gossip::churn::ChurnModel;
-use chiaroscuro_gossip::dissemination::{converged, DisseminationProtocol, MinIdState};
+use chiaroscuro_gossip::dissemination::{converged, winning_state, DisseminationProtocol, MinIdState};
 use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesSumProtocol};
 use chiaroscuro_gossip::engine::GossipEngine;
 use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
@@ -68,6 +80,16 @@ pub struct IterationNetworkStats {
     pub dissemination_messages_per_node: f64,
     /// Gossip exchanges (rounds) executed by the epidemic sums.
     pub sum_rounds: u32,
+    /// Whether the correction dissemination reached full agreement within
+    /// its round budget (under heavy churn it may not; the runner then uses
+    /// the global minimum-identifier proposal, which is the value the
+    /// population is converging to).
+    pub dissemination_converged: bool,
+    /// Contributors the reference node was short of the expected `nν` noise
+    /// shares (0 when the population met or exceeded the expectation).  A
+    /// persistent non-zero deficit means the aggregated Laplace noise is
+    /// below its calibrated scale for this iteration.
+    pub noise_share_deficit: usize,
 }
 
 /// The outcome of a distributed Chiaroscuro run.
@@ -102,15 +124,16 @@ impl<'a> DistributedRun<'a> {
     /// Creates a run over `data` (one participant per series).
     ///
     /// # Panics
-    /// Panics if the population is smaller than 2 or than the key-share
-    /// threshold.
+    /// Panics if the population is smaller than 2, than the key-share
+    /// threshold, or than the expected number of noise shares `nν` (see
+    /// [`ChiaroscuroParams::validate_for_population`]).
     pub fn new(params: ChiaroscuroParams, data: &'a TimeSeriesSet) -> Self {
-        params.validate();
         assert!(data.len() >= 2, "Chiaroscuro needs at least two participants");
         assert!(
             params.key_share_threshold <= data.len(),
             "the key-share threshold cannot exceed the population"
         );
+        params.validate_for_population(data.len());
         Self { params, data, initial_centroids: None }
     }
 
@@ -165,7 +188,11 @@ impl<'a> DistributedRun<'a> {
         let schedule = params.budget_schedule();
         let sensitivity = Sensitivity::from_range(n, data.range().min, data.range().max);
         let churn = ChurnModel::new(params.churn);
-        let exchanges = params.exchanges_for(population, n).clamp(8, 48);
+        let exchanges = params.effective_exchanges(population, n);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(params.pool_threads)
+            .build()
+            .expect("the offline pool cannot fail to build");
 
         let mut audit = SecurityAudit::new();
         let mut iterations = Vec::new();
@@ -182,16 +209,31 @@ impl<'a> DistributedRun<'a> {
             let sum_scale = mechanism.sum_scale();
             let count_scale = mechanism.count_scale();
 
-            // --- Assignment step: local, per participant. ---
-            let mut labels = Vec::with_capacity(population);
-            let mut contribution_vectors = Vec::with_capacity(population);
-            for participant in &participants {
-                let (diptych, assigned) =
-                    Diptych::initialise(&centroids, &participant.series, &public_key, &encoder, rng);
-                labels.push(assigned);
+            // --- Assignment step: local, per participant (parallelised). ---
+            // Each device draws from its own RNG stream whose seed comes off
+            // the master RNG before dispatch, so ciphertext randomness is
+            // identical whatever the pool size.
+            let participant_seeds: Vec<u64> = (0..population).map(|_| rng.gen()).collect();
+            let centroids_view = &centroids;
+            let contributions: Vec<(usize, EncryptedVector)> = pool.map(&participants, |i, participant| {
+                let mut device_rng = StdRng::seed_from_u64(participant_seeds[i]);
+                let (diptych, assigned) = Diptych::initialise(
+                    centroids_view,
+                    &participant.series,
+                    &public_key,
+                    &encoder,
+                    &mut device_rng,
+                );
                 // Flatten: all sum ciphertexts (cluster-major), then all counts,
                 // then the participant's encrypted noise shares in the same layout.
-                let noise = NoiseShareVector::generate(k, n, sum_scale, count_scale, params.num_noise_shares, rng);
+                let noise = NoiseShareVector::generate(
+                    k,
+                    n,
+                    sum_scale,
+                    count_scale,
+                    params.num_noise_shares,
+                    &mut device_rng,
+                );
                 let mut flat: Vec<Ciphertext> = Vec::with_capacity(2 * k * (n + 1));
                 for mean in &diptych.means {
                     flat.extend(mean.sums.iter().cloned());
@@ -200,9 +242,15 @@ impl<'a> DistributedRun<'a> {
                     flat.push(mean.count.clone());
                 }
                 for share in noise.flatten() {
-                    flat.push(public_key.encrypt(&encoder.encode(share, &public_key), rng));
+                    flat.push(public_key.encrypt(&encoder.encode(share, &public_key), &mut device_rng));
                 }
-                contribution_vectors.push(EncryptedVector::new(public_key.clone(), flat));
+                (assigned, EncryptedVector::new(public_key.clone(), flat))
+            });
+            let mut labels = Vec::with_capacity(population);
+            let mut contribution_vectors = Vec::with_capacity(population);
+            for (assigned, vector) in contributions {
+                labels.push(assigned);
+                contribution_vectors.push(vector);
                 audit.record(iteration, "encrypted means contribution", DataClass::Encrypted);
                 audit.record(iteration, "encrypted noise shares", DataClass::Encrypted);
                 audit.record(iteration, "epidemic weight and exchange counter", DataClass::DataIndependent);
@@ -227,14 +275,31 @@ impl<'a> DistributedRun<'a> {
             counter_engine.run_rounds(&PushPullSum, exchanges, rng);
             audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
 
-            // --- Computation step (b): noise surplus correction. ---
-            let counter_estimate = counter_engine
+            // Reference participant: the single node that reads out the
+            // aggregates.  Counter estimate and perturbed sums MUST come
+            // from the same device — mixing two nodes' views can pair a
+            // counter that saw the weight with sums that did not (or vice
+            // versa) and mis-size the surplus correction.
+            let reference = sum_engine
                 .nodes()
                 .iter()
-                .filter_map(|s| s.estimate())
-                .next()
-                .unwrap_or(population as f64);
-            let surplus = (counter_estimate.round() as usize).saturating_sub(params.num_noise_shares);
+                .zip(counter_engine.nodes())
+                .position(|(sum, counter)| sum.weight > 0.0 && counter.estimate().is_some())
+                .expect("after the epidemic sums at least one node holds both weights");
+            let reference_state = &sum_engine.nodes()[reference];
+            let counter_estimate = counter_engine.nodes()[reference]
+                .estimate()
+                .expect("reference node was selected for holding a counter estimate");
+
+            // --- Computation step (b): noise surplus correction. ---
+            // More contributors than the expected nν means surplus noise to
+            // subtract; fewer means a deficit — there is nothing to
+            // subtract, and the shortfall is surfaced in the iteration's
+            // stats rather than silently mapped to zero.
+            let contributors = counter_estimate.round() as i64;
+            let expected_shares = params.num_noise_shares as i64;
+            let surplus = (contributors - expected_shares).max(0) as usize;
+            let noise_share_deficit = (expected_shares - contributors).max(0) as usize;
             let correction_states: Vec<MinIdState<NoiseCorrection>> = (0..population)
                 .map(|_| {
                     let correction = NoiseCorrection::generate(
@@ -250,43 +315,45 @@ impl<'a> DistributedRun<'a> {
                 })
                 .collect();
             let mut dissemination_engine = GossipEngine::new(correction_states, churn);
-            dissemination_engine.run_until(&DisseminationProtocol, exchanges, rng, converged);
+            let dissemination_converged =
+                dissemination_engine.run_until(&DisseminationProtocol, exchanges, rng, converged);
             audit.record(iteration, "noise correction proposal", DataClass::DataIndependent);
-            let winning_correction = dissemination_engine.nodes()[0].payload.clone();
+            // The agreed-upon correction is the proposal with the globally
+            // smallest identifier — the value dissemination converges to —
+            // not whatever node 0 happens to hold (under churn an
+            // unconverged node 0 may still carry a losing proposal).
+            let winning_correction = {
+                let states = dissemination_engine.nodes();
+                let winner = winning_state(states);
+                assert!(
+                    states.iter().filter(|s| s.id == winner.id).all(|s| s.payload == winner.payload),
+                    "every node holding the winning identifier must carry the same payload"
+                );
+                winner.payload.clone()
+            };
 
             // --- Computation step (c): perturbation and threshold decryption. ---
-            // Reference participant: any node whose weight has spread.
-            let reference = sum_engine
-                .nodes()
-                .iter()
-                .position(|s| s.weight > 0.0)
-                .expect("after the epidemic sum at least one node holds the weight");
-            let reference_state = &sum_engine.nodes()[reference];
             let weight = reference_state.weight;
             let entries = k * (n + 1);
-            // Perturbed encrypted means: means part + noise part (same epidemic
-            // scaling because they travelled in the same vector).
-            let perturbed: Vec<Ciphertext> = (0..entries)
-                .map(|i| {
-                    public_key.add(
-                        &reference_state.value.ciphertexts()[i],
-                        &reference_state.value.ciphertexts()[entries + i],
-                    )
-                })
-                .collect();
-            // τ distinct participants apply their key-shares.
-            let decrypted: Vec<f64> = perturbed
-                .iter()
-                .map(|ciphertext| {
-                    let partials: Vec<PartialDecryption> = participants[..params.key_share_threshold]
-                        .iter()
-                        .map(|p| p.key_share.partial_decrypt(&public_key, ciphertext))
-                        .collect();
-                    let plain = combine(&public_key, &partials, params.key_share_threshold, population)
-                        .expect("threshold decryption with exactly tau distinct shares");
-                    encoder.decode(&plain, &public_key) / weight
-                })
-                .collect();
+            let tau = params.key_share_threshold;
+            // Each entry is independent: one homomorphic add of the means
+            // part and the noise part (same epidemic scaling because they
+            // travelled in the same vector), τ partial decryptions, one
+            // combine.  No randomness is involved, so the parallel map is
+            // trivially deterministic.
+            let decrypted: Vec<f64> = pool.map_range(entries, |i| {
+                let perturbed = public_key.add(
+                    &reference_state.value.ciphertexts()[i],
+                    &reference_state.value.ciphertexts()[entries + i],
+                );
+                let partials: Vec<PartialDecryption> = participants[..tau]
+                    .iter()
+                    .map(|p| p.key_share.partial_decrypt(&public_key, &perturbed))
+                    .collect();
+                let plain = combine(&public_key, &partials, tau, population)
+                    .expect("threshold decryption with exactly tau distinct shares");
+                encoder.decode(&plain, &public_key) / weight
+            });
             audit.record(iteration, "partial decryptions of perturbed means", DataClass::DifferentiallyPrivate);
 
             // Rebuild the perturbed means, apply the correction and smoothing.
@@ -329,6 +396,8 @@ impl<'a> DistributedRun<'a> {
                     + counter_engine.metrics().messages_per_node(population),
                 dissemination_messages_per_node: dissemination_engine.metrics().messages_per_node(population),
                 sum_rounds: sum_engine.metrics().rounds(),
+                dissemination_converged,
+                noise_share_deficit,
             });
 
             // --- Convergence step. ---
@@ -402,7 +471,7 @@ mod tests {
             .max_iterations(iterations)
             .key_bits(256)
             .key_share_threshold(3)
-            .num_noise_shares(16)
+            .num_noise_shares(12)
             .exchanges(12)
             .strategy(BudgetStrategy::UniformFast { max_iterations: iterations })
             .epsilon(50.0) // large ε so the tiny population is not drowned in noise
@@ -474,6 +543,81 @@ mod tests {
         let outcome = DistributedRun::new(params, &data).execute(13);
         assert_eq!(outcome.report.num_iterations(), 1);
         assert!(outcome.report.iterations[0].pre_inertia <= outcome.report.dataset_inertia);
+    }
+
+    #[test]
+    fn explicit_exchange_override_below_the_clamp_band_is_used_verbatim() {
+        // Regression: `.exchanges(6)` used to be silently clamped up to 8.
+        let data = tiny_dataset(12);
+        let mut params = tiny_params(2, 1);
+        params.exchanges_override = Some(6);
+        let outcome = DistributedRun::new(params, &data).execute(5);
+        assert_eq!(outcome.network[0].sum_rounds, 6, "the explicit override must be honored");
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_exact() {
+        // The tentpole determinism contract: same seed, any pool size ->
+        // identical ciphertext randomness, hence identical decrypted
+        // centroids, audit trail and network stats.
+        let data = tiny_dataset(16);
+        let serial = {
+            let mut params = tiny_params(2, 2);
+            params.pool_threads = 1;
+            DistributedRun::new(params, &data).execute(23)
+        };
+        let parallel = {
+            let mut params = tiny_params(2, 2);
+            params.pool_threads = 4;
+            DistributedRun::new(params, &data).execute(23)
+        };
+        let serial_values: Vec<Vec<f64>> =
+            serial.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let parallel_values: Vec<Vec<f64>> =
+            parallel.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(serial_values, parallel_values, "pool size must not change the outcome");
+        assert_eq!(serial.network, parallel.network);
+        assert_eq!(serial.audit.events().len(), parallel.audit.events().len());
+    }
+
+    #[test]
+    fn heavy_churn_run_reports_dissemination_and_deficit_state() {
+        // Under 50% churn with few exchanges the correction dissemination
+        // can fail to converge and the gossip counter can undershoot nν;
+        // both conditions must be surfaced, and the run must still complete
+        // deterministically (using the global min-id proposal).
+        let data = tiny_dataset(16);
+        let make_params = || {
+            let mut params = tiny_params(2, 2);
+            params.num_noise_shares = 16;
+            params.churn = 0.5;
+            params.exchanges_override = Some(5);
+            params
+        };
+        let a = DistributedRun::new(make_params(), &data).execute(41);
+        let b = DistributedRun::new(make_params(), &data).execute(41);
+        assert_eq!(a.report.num_iterations(), b.report.num_iterations());
+        let a_values: Vec<Vec<f64>> = a.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let b_values: Vec<Vec<f64>> = b.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(a_values, b_values, "non-converged runs must still be deterministic");
+        assert!(
+            a.network.iter().any(|s| !s.dissemination_converged),
+            "5 exchanges at 50% churn should leave at least one iteration unconverged"
+        );
+        assert!(
+            a.network.iter().any(|s| s.noise_share_deficit > 0),
+            "the gossip counter should undershoot nν = population at this churn level"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "num_noise_shares")]
+    fn population_below_noise_share_expectation_rejected() {
+        // Fewer devices than expected noise contributors is a standing
+        // noise deficit; the run must refuse to start.
+        let data = tiny_dataset(8);
+        let params = tiny_params(2, 1); // expects nν = 12 > 8 participants
+        let _ = DistributedRun::new(params, &data);
     }
 
     #[test]

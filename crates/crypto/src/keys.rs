@@ -10,16 +10,25 @@
 //! where `λ = lcm(p−1, q−1)`: raising a ciphertext to the power `d` strips
 //! the random mask and leaves `(1+n)^m`, whatever the plaintext `m`.
 
+use std::sync::{Arc, OnceLock};
+
 use num_bigint::BigUint;
 use num_traits::One;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::arith::{lcm, mod_inverse};
+use crate::arith::{lcm, mod_inverse, FixedBaseTable};
 use crate::primes::generate_prime_pair;
 
 /// The public encryption key `χ = (n, g)` plus the precomputed powers of `n`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The key also lazily caches a fixed-base windowed-exponentiation table for
+/// `g` (see [`FixedBaseTable`]): every encryption raises `g` to an encoded
+/// plaintext, and negative fixed-point encodings are full-width exponents,
+/// so the thousands of encryptions per distributed iteration amortise one
+/// table against all their `g^m` modpows.  The cache is invisible to
+/// equality and serialisation (it is derived state, rebuilt on demand).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PublicKey {
     n: BigUint,
     s: u32,
@@ -27,7 +36,18 @@ pub struct PublicKey {
     n_s1: BigUint,
     g: BigUint,
     key_bits: u64,
+    g_table: OnceLock<Arc<FixedBaseTable>>,
 }
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // n and s determine every derived field; the cached table is
+        // deliberately excluded (it is a performance artefact, not identity).
+        self.n == other.n && self.s == other.s && self.key_bits == other.key_bits
+    }
+}
+
+impl Eq for PublicKey {}
 
 impl PublicKey {
     pub(crate) fn new(n: BigUint, s: u32, key_bits: u64) -> Self {
@@ -35,7 +55,7 @@ impl PublicKey {
         let n_s = n.pow(s);
         let n_s1 = &n_s * &n;
         let g = &n + BigUint::one();
-        Self { n, s, n_s, n_s1, g, key_bits }
+        Self { n, s, n_s, n_s1, g, key_bits, g_table: OnceLock::new() }
     }
 
     /// The RSA modulus `n`.
@@ -72,6 +92,56 @@ impl PublicKey {
     /// The size of one ciphertext in bytes (an element of `Z_{n^{s+1}}`).
     pub fn ciphertext_bytes(&self) -> usize {
         self.n_s1.bits().div_ceil(8) as usize
+    }
+
+    /// `g^m mod n^{s+1}` in closed form: because `g = 1 + n`, the binomial
+    /// theorem collapses to `Σ_{i=0}^{s} C(m,i)·n^i` (every higher term
+    /// vanishes modulo `n^{s+1}`) — for `s = 1` literally `1 + m·n`, one
+    /// modular multiplication (Damgård & Jurik, PKC 2001, §4.2).  This is
+    /// the `g^m` half of every encryption; it beats even the windowed
+    /// fixed-base table ([`PublicKey::generator_table`]), which remains the
+    /// generic facility for bases without the `1 + n` structure.
+    ///
+    /// Exact for every `m ≥ 0` (no plaintext-range precondition).
+    pub fn generator_pow(&self, m: &BigUint) -> BigUint {
+        let modulus = &self.n_s1;
+        // i = 0 term of the binomial sum.
+        let mut result = BigUint::one();
+        // Falling factorial m·(m−1)···(m−i+1) mod n^{s+1}.  For m < i the
+        // true product contains an exact zero factor (at j = m), so the
+        // modular wrap of later factors is harmless: C(m,i) = 0 sticks.
+        let mut falling = BigUint::one();
+        let mut i_factorial = BigUint::one();
+        let mut n_pow_i = BigUint::one();
+        for i in 1..=u64::from(self.s) {
+            n_pow_i = &n_pow_i * &self.n % modulus;
+            let j = BigUint::from(i - 1);
+            let factor = if *m >= j { m - &j } else { modulus - ((&j - m) % modulus) };
+            falling = falling * (factor % modulus) % modulus;
+            i_factorial *= BigUint::from(i);
+            let inv = mod_inverse(&(&i_factorial % modulus), modulus)
+                .expect("i! has only small prime factors, coprime with n^{s+1}");
+            result = (result + &falling * inv % modulus * &n_pow_i) % modulus;
+        }
+        result
+    }
+
+    /// The cached fixed-base window table for `g` over `Z_{n^{s+1}}`,
+    /// covering every plaintext exponent (`m < n^s`).  Built once on first
+    /// use; call [`PublicKey::precompute`] to pay the cost eagerly.
+    ///
+    /// This is the generic fixed-base facility (at most `⌈bits/4⌉` modular
+    /// multiplications per exponentiation, zero squarings); for `g = 1 + n`
+    /// itself the closed-form [`PublicKey::generator_pow`] is cheaper still,
+    /// and is what [`PublicKey::encrypt`] uses.
+    pub fn generator_table(&self) -> &FixedBaseTable {
+        self.g_table
+            .get_or_init(|| Arc::new(FixedBaseTable::new(&self.g, &self.n_s1, self.n_s.bits())))
+    }
+
+    /// Eagerly builds the derived lookup tables (idempotent).
+    pub fn precompute(&self) {
+        self.generator_table();
     }
 }
 
@@ -211,5 +281,56 @@ mod tests {
         let a = small_keypair(7, 1);
         let b = small_keypair(8, 1);
         assert_ne!(a.public.modulus(), b.public.modulus());
+    }
+
+    #[test]
+    fn generator_table_covers_the_whole_plaintext_space() {
+        use num_bigint::RandBigInt;
+        for s in 1..=2u32 {
+            let kp = small_keypair(20 + s as u64, s);
+            let pk = &kp.public;
+            let table = pk.generator_table();
+            assert!(table.capacity_bits() >= pk.plaintext_modulus().bits());
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..10 {
+                let m = rng.gen_biguint_below(pk.plaintext_modulus());
+                let reference = pk.generator().modpow(&m, pk.ciphertext_modulus());
+                assert_eq!(table.pow(&m), reference, "table: s = {s}, m = {m}");
+                assert_eq!(pk.generator_pow(&m), reference, "closed form: s = {s}, m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_pow_closed_form_handles_edge_exponents() {
+        for s in 1..=3u32 {
+            let kp = small_keypair(40 + s as u64, s);
+            let pk = &kp.public;
+            let n2 = pk.ciphertext_modulus();
+            // m = 0, 1, tiny m (smaller than the binomial index i), and the
+            // largest plaintext.
+            for m in [
+                BigUint::zero(),
+                BigUint::one(),
+                BigUint::from(2u32),
+                pk.plaintext_modulus() - BigUint::one(),
+            ] {
+                assert_eq!(pk.generator_pow(&m), pk.generator().modpow(&m, n2), "s = {s}, m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_cache_is_invisible_to_equality_and_clone() {
+        let kp = small_keypair(30, 1);
+        let cold = kp.public.clone();
+        kp.public.precompute();
+        // One side has the table built, the other does not: still equal.
+        assert_eq!(kp.public, cold);
+        // A clone taken after precompute carries the cache and still works.
+        let warm = kp.public.clone();
+        assert_eq!(warm.generator_table().pow(&BigUint::from(5u32)), {
+            kp.public.generator().modpow(&BigUint::from(5u32), kp.public.ciphertext_modulus())
+        });
     }
 }

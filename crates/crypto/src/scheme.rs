@@ -46,9 +46,11 @@ impl PublicKey {
         assert!(m < self.plaintext_modulus(), "plaintext must be below n^s");
         let r = self.random_unit(rng);
         let mask = r.modpow(self.plaintext_modulus(), self.ciphertext_modulus());
-        // g = 1 + n, so g^m can be computed without a full modpow for s = 1,
-        // but the general modpow keeps the code uniform across s.
-        let gm = self.generator().modpow(m, self.ciphertext_modulus());
+        // g = 1 + n, so g^m collapses to the closed-form binomial sum
+        // (1 + m·n for s = 1) — negative fixed-point encodings are
+        // full-width exponents, so this replaces an entire square-and-
+        // multiply chain per encryption.
+        let gm = self.generator_pow(m);
         Ciphertext { value: (gm * mask) % self.ciphertext_modulus() }
     }
 

@@ -40,6 +40,22 @@ impl ChurnModel {
     pub fn is_online<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
         self.disconnection_probability == 0.0 || rng.gen::<f64>() >= self.disconnection_probability
     }
+
+    /// Samples one connectivity mask for a whole gossip round: entry `i` is
+    /// whether participant `i` is online for that round (PeerSim semantics —
+    /// a node's connectivity is a property of the round, not re-rolled at
+    /// every contact attempt, so a node can never be observed both online
+    /// and offline within the same round).
+    ///
+    /// With no churn the mask is all-online and consumes no randomness, so
+    /// churn-free schedules stay byte-identical to a model-free run.
+    pub fn sample_mask<R: Rng + ?Sized>(&self, population: usize, rng: &mut R) -> Vec<bool> {
+        if self.disconnection_probability == 0.0 {
+            vec![true; population]
+        } else {
+            (0..population).map(|_| self.is_online(rng)).collect()
+        }
+    }
 }
 
 impl Default for ChurnModel {
@@ -95,6 +111,19 @@ mod tests {
             assert!(ChurnModel::NONE.is_online(&mut with_model));
         }
         assert_eq!(with_model, without, "NONE must not advance the RNG");
+    }
+
+    #[test]
+    fn mask_sampling_matches_probability_and_consumes_nothing_without_churn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mask = ChurnModel::new(0.3).sample_mask(50_000, &mut rng);
+        let online = mask.iter().filter(|&&b| b).count() as f64 / 50_000.0;
+        assert!((online - 0.7).abs() < 0.01, "online rate = {online}");
+
+        let mut with_model = StdRng::seed_from_u64(9);
+        let untouched = StdRng::seed_from_u64(9);
+        assert_eq!(ChurnModel::NONE.sample_mask(1_000, &mut with_model), vec![true; 1_000]);
+        assert_eq!(with_model, untouched, "a churn-free mask must not advance the RNG");
     }
 
     #[test]

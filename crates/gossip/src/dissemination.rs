@@ -55,6 +55,20 @@ pub fn global_minimum<T>(states: &[MinIdState<T>]) -> u64 {
     states.iter().map(|s| s.id).min().expect("non-empty population")
 }
 
+/// The state holding the globally smallest identifier — the proposal the
+/// population is converging to, whether or not dissemination has finished.
+///
+/// The min-id exchange can only ever *lower* a node's identifier, so the
+/// global minimum present after any number of rounds is the true winner; a
+/// reader must take this state rather than an arbitrary node's (under churn
+/// an unconverged node may still hold a losing proposal).
+///
+/// # Panics
+/// Panics on an empty population.
+pub fn winning_state<T>(states: &[MinIdState<T>]) -> &MinIdState<T> {
+    states.iter().min_by_key(|s| s.id).expect("non-empty population")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +125,31 @@ mod tests {
         }
         assert!(rounds[0] <= 25 && rounds[1] <= 30, "rounds = {rounds:?}");
         assert!(rounds[1] <= rounds[0] + 10, "growth must be slow: {rounds:?}");
+    }
+
+    #[test]
+    fn winning_state_is_correct_even_when_dissemination_did_not_converge() {
+        // Regression for reading nodes()[0] after a non-converged run: cut
+        // dissemination short under heavy churn so run_until returns false,
+        // then check that node 0 may hold a losing proposal while the
+        // winning_state is always the global-minimum one.
+        let states = random_states(600, 13);
+        let expected_min = global_minimum(&states);
+        let expected_payload = states.iter().find(|s| s.id == expected_min).unwrap().payload;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut engine = GossipEngine::new(states, ChurnModel::new(0.6));
+        let ok = engine.run_until(&DisseminationProtocol, 3, &mut rng, converged);
+        assert!(!ok, "3 rounds at 60% churn must not converge a 600-node population");
+        let winner = winning_state(engine.nodes());
+        assert_eq!(winner.id, expected_min, "the global minimum can never be displaced");
+        assert_eq!(winner.payload, expected_payload);
+        // The old bug: some node (node 0 among them, for this seed) still
+        // holds a different proposal — reading it would disagree with the
+        // population's eventual agreement.
+        assert!(
+            engine.nodes().iter().any(|s| s.id != expected_min),
+            "the run must be genuinely unconverged for this regression to bite"
+        );
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl<N> GossipEngine<N> {
     /// Runs one gossip round: every online node, in random order, initiates
     /// one exchange with a uniformly chosen online contact.
     ///
+    /// Connectivity is sampled **once per round** (one online mask for the
+    /// whole population, PeerSim semantics), then consulted for both the
+    /// initiator and the contact checks — a node is either reachable for the
+    /// entire round or unreachable for the entire round, never both.
+    ///
     /// Uniform contact selection models a well-mixed Newscast overlay (see
     /// [`crate::newscast`]); the approximation is standard for aggregation
     /// analyses and keeps million-node simulations tractable.
@@ -75,18 +80,34 @@ impl<N> GossipEngine<N> {
         P: PairwiseProtocol<N>,
         R: Rng + ?Sized,
     {
+        let online = self.churn.sample_mask(self.nodes.len(), rng);
+        self.run_round_with_mask(protocol, &online, rng);
+    }
+
+    /// Runs one gossip round against an explicit per-round connectivity
+    /// mask (`online[i]` ⇔ node `i` participates this round).  Exposed so
+    /// tests can pin the mask and assert that offline nodes are untouched.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the population.
+    pub fn run_round_with_mask<P, R>(&mut self, protocol: &P, online: &[bool], rng: &mut R)
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
         let population = self.nodes.len();
+        assert_eq!(online.len(), population, "one mask entry per node");
         let mut order: Vec<usize> = (0..population).collect();
         order.shuffle(rng);
         for initiator in order {
-            if !self.churn.is_online(rng) {
+            if !online[initiator] {
                 continue;
             }
             // Pick a distinct online contact (bounded retries under churn).
             let mut contact = None;
             for _ in 0..8 {
                 let candidate = rng.gen_range(0..population);
-                if candidate != initiator && self.churn.is_online(rng) {
+                if candidate != initiator && online[candidate] {
                     contact = Some(candidate);
                     break;
                 }
@@ -257,6 +278,55 @@ mod tests {
         assert_eq!(total.rounds(), 7);
         assert_eq!(total.exchanges(), first.metrics().exchanges() + second.metrics().exchanges());
         assert_eq!(total.messages(), 2 * total.exchanges());
+    }
+
+    /// Records every exchanged pair of node labels (for mask assertions).
+    struct RecordingProtocol(std::cell::RefCell<Vec<(u64, u64)>>);
+
+    impl PairwiseProtocol<u64> for RecordingProtocol {
+        fn exchange(&self, a: &mut u64, b: &mut u64) {
+            self.0.borrow_mut().push((*a, *b));
+        }
+    }
+
+    #[test]
+    fn offline_nodes_never_touch_an_exchange_within_a_round() {
+        // Regression for the per-contact churn re-roll: with one mask per
+        // round, a node that is offline can appear in no exchange at all,
+        // neither as initiator nor as contact.
+        let mut rng = StdRng::seed_from_u64(21);
+        let nodes: Vec<u64> = (0..40).collect();
+        let mut engine = GossipEngine::new(nodes, ChurnModel::new(0.4));
+        let mask: Vec<bool> = (0..40).map(|i| i % 3 != 0).collect();
+        let protocol = RecordingProtocol(std::cell::RefCell::new(Vec::new()));
+        engine.run_round_with_mask(&protocol, &mask, &mut rng);
+        let pairs = protocol.0.into_inner();
+        assert!(!pairs.is_empty(), "online majority must exchange");
+        for (a, b) in pairs {
+            assert!(mask[a as usize], "offline node {a} initiated or received an exchange");
+            assert!(mask[b as usize], "offline node {b} initiated or received an exchange");
+        }
+    }
+
+    #[test]
+    fn run_round_samples_exactly_one_mask_per_round() {
+        // run_round must be equivalent to sampling one connectivity mask up
+        // front and running the round against it — not re-rolling churn at
+        // every contact retry.  Drive both formulations from the same seed
+        // and assert they stay in lockstep for several churny rounds.
+        let churn = ChurnModel::new(0.35);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut implicit = GossipEngine::new((0..64u64).collect(), churn);
+        let mut explicit = GossipEngine::new((0..64u64).collect(), churn);
+        for _ in 0..10 {
+            implicit.run_round(&MaxProtocol, &mut rng_a);
+            let mask = churn.sample_mask(64, &mut rng_b);
+            explicit.run_round_with_mask(&MaxProtocol, &mask, &mut rng_b);
+        }
+        assert_eq!(rng_a, rng_b, "run_round must consume exactly one mask of churn draws");
+        assert_eq!(implicit.nodes(), explicit.nodes());
+        assert_eq!(implicit.metrics().exchanges(), explicit.metrics().exchanges());
     }
 
     #[test]

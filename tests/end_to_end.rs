@@ -25,7 +25,9 @@ fn functional_params(k: usize, iterations: usize, epsilon: f64) -> ChiaroscuroPa
         .max_iterations(iterations)
         .key_bits(256)
         .key_share_threshold(3)
-        .num_noise_shares(24)
+        // At most the smallest population these params run over (nν may not
+        // exceed the number of participants).
+        .num_noise_shares(16)
         .exchanges(14)
         .build()
 }

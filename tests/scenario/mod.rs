@@ -58,6 +58,10 @@ pub struct ScenarioSpec {
     /// meaningful assertion (tight-budget scenarios still assert R2 and
     /// budget compliance, but noise legitimately dominates the structure).
     pub check_structure: bool,
+    /// Crypto worker threads for the distributed run (1 = strictly serial).
+    /// Any value must produce bit-identical outcomes — the matrix asserts
+    /// serial-vs-parallel equality explicitly.
+    pub pool_threads: usize,
 }
 
 /// The two execution paths of one scenario, run from the same seed.
@@ -118,6 +122,7 @@ impl ScenarioSpec {
             .num_noise_shares(self.population)
             .exchanges(14)
             .churn(self.churn)
+            .pool_threads(self.pool_threads)
             .build()
     }
 

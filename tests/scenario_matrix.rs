@@ -28,6 +28,7 @@ fn baseline() -> ScenarioSpec {
         seed: 0xC1A0_0001,
         structure_tolerance: 8.0,
         check_structure: true,
+        pool_threads: 1,
     }
 }
 
@@ -51,6 +52,7 @@ fn scenario_churn_uniform_fast() {
         seed: 0xC1A0_0002,
         structure_tolerance: 9.0,
         check_structure: true,
+        pool_threads: 1,
     }
     .run()
     .assert_all();
@@ -69,6 +71,7 @@ fn scenario_three_clusters_larger_population() {
         seed: 0xC1A0_0003,
         structure_tolerance: 9.0,
         check_structure: true,
+        pool_threads: 1,
     }
     .run()
     .assert_all();
@@ -90,6 +93,7 @@ fn scenario_tight_budget_greedy_floor() {
         seed: 0xC1A0_0004,
         structure_tolerance: f64::INFINITY,
         check_structure: false,
+        pool_threads: 1,
     }
     .run()
     .assert_all();
@@ -109,6 +113,7 @@ fn scenario_churn_and_tight_budget_combined() {
         seed: 0xC1A0_0005,
         structure_tolerance: f64::INFINITY,
         check_structure: false,
+        pool_threads: 1,
     }
     .run()
     .assert_all();
@@ -145,5 +150,50 @@ fn scenario_network_stats_cover_every_iteration() {
     for stats in &outcome.distributed.network {
         assert!(stats.sum_messages_per_node > 0.0, "epidemic sums must exchange messages");
         assert!(stats.sum_rounds > 0);
+        // No churn, well-sized population: agreement and a fully-counted
+        // population are the expected steady state.
+        assert!(stats.dissemination_converged, "no-churn dissemination must converge");
+        assert_eq!(stats.noise_share_deficit, 0, "no-churn counter must reach nν");
     }
+}
+
+#[test]
+fn scenario_parallel_pool_is_bit_exact_with_serial() {
+    // The parallel crypto hot path (per-participant encryption + threshold
+    // decryption on a thread pool) must be indistinguishable from the
+    // serial path: same seed -> bit-identical centroids, stats and audit.
+    let serial = baseline();
+    let mut parallel = baseline();
+    parallel.name = "baseline-parallel-pool";
+    parallel.pool_threads = 3;
+    let a = serial.run();
+    let b = parallel.run();
+    let a_values: Vec<Vec<f64>> =
+        a.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    let b_values: Vec<Vec<f64>> =
+        b.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    assert_eq!(a_values, b_values, "pool size must not change any decrypted value");
+    assert_eq!(a.distributed.network, b.distributed.network);
+    assert_eq!(a.distributed.audit.events().len(), b.distributed.audit.events().len());
+    b.assert_all();
+}
+
+#[test]
+fn scenario_population_below_noise_shares_is_rejected() {
+    // A population smaller than the expected noise contributors nν is a
+    // standing noise deficit: the aggregated Laplace noise would stay below
+    // its calibrated scale, so the run must refuse to start.
+    let spec = baseline();
+    let data = spec.dataset();
+    let mut params = spec.params();
+    params.num_noise_shares = spec.population * 2;
+    let result = std::panic::catch_unwind(|| {
+        chiaroscuro::core::runner::DistributedRun::new(params, &data)
+    });
+    let err = result.expect_err("nν > population must be rejected at construction");
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default());
+    assert!(message.contains("num_noise_shares"), "unexpected panic message: {message}");
 }
