@@ -6,15 +6,19 @@
 //!   populations from 1K to 1M;
 //! * 4(b): average number of messages per peer for the epidemic decryption
 //!   as a function of the key-share threshold (fraction of the population);
-//! * `--part iteration-model`: the §6.3.2 composition of local costs and
-//!   message counts into an iteration duration.
+//! * `--part iteration-model`: the §6.3.2 composition of per-ciphertext
+//!   local costs and message counts into an iteration duration;
+//!   `--lanes L` models the lane-packed encoding (⌈k·(n+1)/L⌉ + 1
+//!   ciphertexts per set instead of one per coordinate).
 //!
 //! Usage:
 //!   fig4_latency [--part sum|decryption|iteration-model|all]
 //!                [--max-population 1000000] [--seed 1]
+//!                [--lanes 1] [--set-kb 130]
 
 use chiaroscuro_bench::{Args, Table};
-use chiaroscuro_core::cost_model::{IterationCostModel, IterationMessageCounts, LocalCosts};
+use chiaroscuro_core::cost_model::{IterationCostModel, IterationMessageCounts, LocalCosts, SetShape};
+use chiaroscuro_crypto::wire::MeansWireModel;
 use chiaroscuro_gossip::churn::ChurnModel;
 use chiaroscuro_gossip::decryption::simulate_decryption;
 use chiaroscuro_gossip::dissemination::{converged, DisseminationProtocol, MinIdState};
@@ -119,32 +123,53 @@ fn decryption_part(args: &Args) {
     table.print();
 }
 
-/// §6.3.2: iteration latency model.
+/// §6.3.2: iteration latency model (per-ciphertext costs, parameterised on
+/// the ciphertexts-per-set shape so the `--lanes` knob models lane packing).
 fn iteration_model_part(args: &Args) {
+    let lanes = args.get("lanes", 1usize).max(1);
     let set_kilobytes = args.get("set-kb", 130.0f64);
     let mut table = Table::new(
         "§6.3.2 — modelled iteration duration (1M participants, 1 Mb/s links)",
-        &["iteration", "surviving centroids", "estimated minutes"],
+        &["iteration", "surviving centroids", "ciphertexts/set", "estimated minutes"],
     );
-    // The paper: first iteration ~26 min, fifth ~10 min after 60% of the
-    // centroids became aberrant.
+    // The paper's setting: 50 means x 20 measures = 1050 ciphertexts per
+    // set, `--set-kb` (130 by default) sizing the full legacy set; first
+    // iteration ~26 min, fifth ~10 min after 60% of the centroids became
+    // aberrant.  Lane packing (`--lanes L`) divides the ciphertext count
+    // by L (plus one counter ciphertext).
+    let full_set = 50 * (20 + 1);
+    let cleartext_per_mean = 16usize;
+    let ciphertext_bytes =
+        ((set_kilobytes * 1_000.0 - (50 * cleartext_per_mean) as f64) / full_set as f64) as usize;
+    let local = LocalCosts {
+        encrypt_ciphertext_secs: 3.0 / full_set as f64,
+        add_ciphertext_secs: 0.08 / full_set as f64,
+        decrypt_ciphertext_secs: 9.0 / full_set as f64,
+        bandwidth_bits_per_sec: 1_000_000.0,
+    };
     for (iteration, surviving_fraction) in [(1usize, 1.0f64), (5, 0.4)] {
-        let local = LocalCosts {
-            encrypt_set_secs: 3.0 * surviving_fraction,
-            add_set_secs: 0.08 * surviving_fraction,
-            decrypt_set_secs: 9.0 * surviving_fraction,
-            set_bytes: (set_kilobytes * 1_000.0 * surviving_fraction) as usize,
-            bandwidth_bits_per_sec: 1_000_000.0,
+        // Derive the set shape from the canonical packing-aware wire model
+        // (one formula for ciphertexts-per-set, shared with the runner).
+        let wire = MeansWireModel {
+            num_means: (50.0 * surviving_fraction) as usize,
+            measures_per_mean: 20,
+            ciphertext_bytes,
+            cleartext_bytes_per_mean: cleartext_per_mean,
+            lanes_per_ciphertext: lanes,
+            counter_ciphertexts: if lanes == 1 { 0 } else { 1 },
         };
+        let shape = SetShape::from_wire_model(&wire);
+        let ciphertexts = shape.ciphertexts_per_set;
         let messages = IterationMessageCounts {
             sum_messages_per_node: 2.0 * 100.0,
             dissemination_messages_per_node: 50.0,
             decryption_messages_per_node: 100.0,
         };
-        let model = IterationCostModel { local, messages };
+        let model = IterationCostModel { local, shape, messages };
         table.row(&[
             iteration.to_string(),
             format!("{:.0}%", surviving_fraction * 100.0),
+            ciphertexts.to_string(),
             format!("{:.1}", model.iteration_minutes()),
         ]);
     }

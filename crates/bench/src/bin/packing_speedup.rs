@@ -1,0 +1,268 @@
+//! Ciphertext-count reduction and wall-clock speedup of lane packing.
+//!
+//! Runs the per-iteration vector pipeline — per-participant **encrypt**,
+//! homomorphic **sum** across the population, threshold **decrypt** —
+//! twice: once with the legacy one-ciphertext-per-coordinate encoding and
+//! once with the lane-packed encoding (`chiaroscuro_crypto::packing`),
+//! using the same contribution values.  It verifies the decoded sums are
+//! **bit-identical**, reports the ciphertext-operation counts and timings
+//! of each phase, and asserts the packed path performs at least 4× fewer
+//! ciphertext operations per iteration (the PR's acceptance bar; at the
+//! paper's 1024-bit key the lane factor is typically 6–8 with a gossip-
+//! grade doubling budget, and higher for shorter epidemics).
+//!
+//! The workload mirrors one runner iteration: every participant contributes
+//! a means vector of `k·(n+1)` coordinates plus a same-shape vector of
+//! (possibly negative) noise shares, and the aggregate is perturbed
+//! (means + noise) before threshold decryption.
+//!
+//! Usage:
+//!   packing_speedup [--means 10] [--measures 6] [--population 8]
+//!                   [--key-bits 1024] [--exchanges 10] [--shares 8]
+//!                   [--threshold 3] [--seed 42]
+
+use std::time::Instant;
+
+use chiaroscuro_bench::{Args, Table};
+use chiaroscuro_crypto::encoding::FixedPointEncoder;
+use chiaroscuro_crypto::keys::KeyPair;
+use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
+use chiaroscuro_crypto::scheme::Ciphertext;
+use chiaroscuro_crypto::threshold::{combine, KeyShare, PartialDecryption, ThresholdDealer};
+use chiaroscuro_crypto::wire::MeansWireModel;
+use num_bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ciphertext-operation counts and phase timings of one pipeline run.
+struct PipelineReport {
+    encryptions: usize,
+    additions: usize,
+    decryptions: usize,
+    encrypt_secs: f64,
+    sum_secs: f64,
+    decrypt_secs: f64,
+    decoded: Vec<f64>,
+}
+
+impl PipelineReport {
+    fn total_ops(&self) -> usize {
+        self.encryptions + self.additions + self.decryptions
+    }
+}
+
+fn threshold_decrypt(
+    kp: &KeyPair,
+    shares: &[KeyShare],
+    tau: usize,
+    total_shares: usize,
+    c: &Ciphertext,
+) -> BigUint {
+    let partials: Vec<PartialDecryption> =
+        shares[..tau].iter().map(|s| s.partial_decrypt(&kp.public, c)).collect();
+    combine(&kp.public, &partials, tau, total_shares).expect("threshold decryption")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let means = args.get("means", 10usize);
+    let measures = args.get("measures", 6usize);
+    let population = args.get("population", 8usize);
+    let key_bits = args.get("key-bits", 1024u64);
+    let exchanges = args.get("exchanges", 10u32);
+    let total_shares = args.get("shares", 8usize);
+    let tau = args.get("threshold", 3usize);
+    let seed = args.get("seed", 42u64);
+    let entries = means * (measures + 1);
+
+    eprintln!(
+        "# packing_speedup — k = {means}, n = {measures}, {entries} coordinates/vector, \
+         {population} participants, {key_bits}-bit key, tau = {tau}/{total_shares}, seed {seed}"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keypair = KeyPair::generate(key_bits, 1, &mut rng);
+    let dealer = ThresholdDealer::new(&keypair, total_shares, tau);
+    let key_shares = dealer.deal(&mut rng);
+    let encoder = FixedPointEncoder::new(3);
+
+    // The runner's lane budget: population contributors, the gossip-grade
+    // doubling allowance for `exchanges` rounds, two biased vectors
+    // (means + noise) combined before decode.
+    let budget = LaneBudget {
+        contributors: population,
+        doubling_budget: 8 * exchanges + 32,
+        max_abs_value: 100.0,
+        biased_vectors: 2,
+    };
+    let packer = PackedEncoder::plan(keypair.public.packing_capacity_bits(), &encoder, &budget)
+        .expect("a 1024-bit key fits several lanes under a gossip-grade budget");
+    let lanes = packer.lanes();
+    let blocks = packer.ciphertexts_for(entries);
+    eprintln!(
+        "# lane layout: {lanes} lanes x {} bits; {blocks}+1 packed ciphertexts vs {entries} legacy (x2 with noise)",
+        packer.layout().lane_bits
+    );
+
+    // Per-participant contributions: means coordinates in [0, 80] and
+    // signed noise-share coordinates in [-2, 2], same for both pipelines.
+    let contributions: Vec<(Vec<f64>, Vec<f64>)> = (0..population)
+        .map(|_| {
+            let means_vec: Vec<f64> = (0..entries).map(|_| rng.gen_range(0.0..80.0)).collect();
+            let noise_vec: Vec<f64> = (0..entries).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            (means_vec, noise_vec)
+        })
+        .collect();
+
+    // --- Legacy pipeline: one ciphertext per coordinate. ---
+    let legacy = {
+        let mut enc_rng = StdRng::seed_from_u64(seed ^ 0x1eacc);
+        let start = Instant::now();
+        let encrypted: Vec<Vec<Ciphertext>> = contributions
+            .iter()
+            .map(|(m, v)| {
+                m.iter()
+                    .chain(v.iter())
+                    .map(|&x| keypair.public.encrypt(&encoder.encode(x, &keypair.public), &mut enc_rng))
+                    .collect()
+            })
+            .collect();
+        let encrypt_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut aggregate = encrypted[0].clone();
+        for vector in &encrypted[1..] {
+            for (a, b) in aggregate.iter_mut().zip(vector.iter()) {
+                *a = keypair.public.add(a, b);
+            }
+        }
+        // Perturbation: means + noise, coordinate-wise.
+        let perturbed: Vec<Ciphertext> = (0..entries)
+            .map(|i| keypair.public.add(&aggregate[i], &aggregate[entries + i]))
+            .collect();
+        let sum_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let decoded: Vec<f64> = perturbed
+            .iter()
+            .map(|c| {
+                let plain = threshold_decrypt(&keypair, &key_shares, tau, total_shares, c);
+                encoder.decode(&plain, &keypair.public)
+            })
+            .collect();
+        let decrypt_secs = start.elapsed().as_secs_f64();
+
+        PipelineReport {
+            encryptions: population * 2 * entries,
+            additions: (population - 1) * 2 * entries + entries,
+            decryptions: entries,
+            encrypt_secs,
+            sum_secs,
+            decrypt_secs,
+            decoded,
+        }
+    };
+
+    // --- Packed pipeline: lanes + one counter ciphertext. ---
+    let packed = {
+        let mut enc_rng = StdRng::seed_from_u64(seed ^ 0xbacced);
+        let start = Instant::now();
+        let encrypted: Vec<Vec<Ciphertext>> = contributions
+            .iter()
+            .map(|(m, v)| {
+                let mut cts: Vec<Ciphertext> = packer
+                    .pack(m)
+                    .iter()
+                    .chain(packer.pack(v).iter())
+                    .map(|p| keypair.public.encrypt(p, &mut enc_rng))
+                    .collect();
+                cts.push(keypair.public.encrypt(&packer.counter_plaintext(), &mut enc_rng));
+                cts
+            })
+            .collect();
+        let encrypt_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut aggregate = encrypted[0].clone();
+        for vector in &encrypted[1..] {
+            for (a, b) in aggregate.iter_mut().zip(vector.iter()) {
+                *a = keypair.public.add(a, b);
+            }
+        }
+        let perturbed: Vec<Ciphertext> =
+            (0..blocks).map(|i| keypair.public.add(&aggregate[i], &aggregate[blocks + i])).collect();
+        let sum_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let plaintexts: Vec<BigUint> = perturbed
+            .iter()
+            .map(|c| threshold_decrypt(&keypair, &key_shares, tau, total_shares, c))
+            .collect();
+        let counter =
+            threshold_decrypt(&keypair, &key_shares, tau, total_shares, &aggregate[2 * blocks]);
+        let decoded = packer.unpack(&plaintexts, entries, &counter, 2);
+        let decrypt_secs = start.elapsed().as_secs_f64();
+
+        PipelineReport {
+            encryptions: population * (2 * blocks + 1),
+            additions: (population - 1) * (2 * blocks + 1) + blocks,
+            decryptions: blocks + 1,
+            encrypt_secs,
+            sum_secs,
+            decrypt_secs,
+            decoded,
+        }
+    };
+
+    // Packing must never change a decoded bit.
+    assert_eq!(legacy.decoded, packed.decoded, "packed and legacy decodes diverged");
+
+    let mut table = Table::new(
+        "packing_speedup — ciphertext operations and wall-clock per iteration",
+        &["quantity", "legacy", "packed", "ratio"],
+    );
+    let ratio = |l: f64, p: f64| if p > 0.0 { format!("{:.2}x", l / p) } else { "-".into() };
+    table.row(&[
+        "ciphertexts per contribution".into(),
+        (2 * entries).to_string(),
+        (2 * blocks + 1).to_string(),
+        ratio(2.0 * entries as f64, (2 * blocks + 1) as f64),
+    ]);
+    for (name, l, p) in [
+        ("encryptions", legacy.encryptions, packed.encryptions),
+        ("homomorphic additions", legacy.additions, packed.additions),
+        ("threshold decryptions", legacy.decryptions, packed.decryptions),
+        ("total ciphertext ops", legacy.total_ops(), packed.total_ops()),
+    ] {
+        table.row(&[name.into(), l.to_string(), p.to_string(), ratio(l as f64, p as f64)]);
+    }
+    for (name, l, p) in [
+        ("encrypt wall-clock (s)", legacy.encrypt_secs, packed.encrypt_secs),
+        ("sum wall-clock (s)", legacy.sum_secs, packed.sum_secs),
+        ("decrypt wall-clock (s)", legacy.decrypt_secs, packed.decrypt_secs),
+        (
+            "total wall-clock (s)",
+            legacy.encrypt_secs + legacy.sum_secs + legacy.decrypt_secs,
+            packed.encrypt_secs + packed.sum_secs + packed.decrypt_secs,
+        ),
+    ] {
+        table.row(&[name.into(), format!("{l:.3}"), format!("{p:.3}"), ratio(l, p)]);
+    }
+    // Predicted transfer sizes from the packing-aware wire model.
+    let legacy_model = MeansWireModel::new(&keypair.public, means, measures);
+    let packed_model = MeansWireModel::new_packed(&keypair.public, means, measures, lanes);
+    table.row(&[
+        "set transfer size (kB)".into(),
+        format!("{:.1}", legacy_model.set_kilobytes()),
+        format!("{:.1}", packed_model.set_kilobytes()),
+        ratio(legacy_model.set_bytes() as f64, packed_model.set_bytes() as f64),
+    ]);
+    table.print();
+
+    let op_reduction = legacy.total_ops() as f64 / packed.total_ops() as f64;
+    assert!(
+        op_reduction >= 4.0,
+        "acceptance: packing must cut ciphertext operations by >= 4x, measured {op_reduction:.2}x"
+    );
+    eprintln!("# OK: {op_reduction:.2}x fewer ciphertext operations, decodes bit-identical");
+}

@@ -40,6 +40,19 @@ pub struct ChiaroscuroParams {
     pub key_share_threshold: usize,
     /// Decimal digits preserved by the fixed-point encoding.
     pub encoding_digits: u32,
+    /// Lane-packed plaintext encoding: pack many fixed-point coordinates
+    /// into disjoint bit-lanes of each `Z_{n^s}` plaintext, cutting the
+    /// ciphertexts encrypted, gossiped and threshold-decrypted per
+    /// iteration by the lane factor (`chiaroscuro_crypto::packing`).
+    ///
+    /// `false` (the default) runs the legacy one-ciphertext-per-coordinate
+    /// path.  Decoded results are **bit-identical** either way from the
+    /// same seed — the scenario matrix asserts it — so the knob is purely
+    /// a performance/bandwidth trade-off.  The lane layout is validated up
+    /// front against the population and exchange budget; a combination
+    /// that cannot pack (e.g. a tiny key) or would not beat the legacy
+    /// path (a single-lane layout) is rejected before any encryption.
+    pub lane_packing: bool,
 
     // --- gossip ---
     /// Size of the local view Λ.
@@ -91,6 +104,20 @@ impl ChiaroscuroParams {
             1.0,
             self.gossip_error_bound.max(1e-15),
         ) as u32
+    }
+
+    /// A conservative lower bound on the plaintext-space bits available to
+    /// lane packing, derivable **before** key generation: key generation
+    /// forces the top bit of each `key_bits/2`-bit prime, which guarantees
+    /// only `n = p·q ≥ 2^(key_bits−2)`, hence `n^s ≥ 2^(s·(key_bits−2))`
+    /// and any packed value below that many bits fits in `Z_{n^s}` for
+    /// *every* possible key.  Using this bound (rather than the generated
+    /// key's exact modulus) keeps the lane layout a pure function of the
+    /// parameters, so validation in `DistributedRun::new` and the layout
+    /// used at execution time always agree; the runner additionally
+    /// re-checks the layout against the actual generated modulus.
+    pub fn packing_capacity_bits(&self) -> u64 {
+        u64::from(self.damgard_jurik_s) * (self.key_bits - 2)
     }
 
     /// The exchange count the runner actually uses: an explicit
@@ -172,6 +199,7 @@ impl Default for ChiaroscuroParamsBuilder {
                 damgard_jurik_s: 1,
                 key_share_threshold: 3,
                 encoding_digits: 3,
+                lane_packing: false,
                 view_size: 30,
                 exchanges_override: None,
                 gossip_error_bound: 1e-3,
@@ -258,6 +286,13 @@ impl ChiaroscuroParamsBuilder {
     /// Sets the crypto worker-thread count (1 = serial, 0 = auto-detect).
     pub fn pool_threads(mut self, pool_threads: usize) -> Self {
         self.params.pool_threads = pool_threads;
+        self
+    }
+
+    /// Enables or disables the lane-packed plaintext encoding (off = the
+    /// bit-exact legacy one-ciphertext-per-coordinate path).
+    pub fn lane_packing(mut self, lane_packing: bool) -> Self {
+        self.params.lane_packing = lane_packing;
         self
     }
 
@@ -424,6 +459,21 @@ mod tests {
         p.validate_for_population(5_000);
         let err = std::panic::catch_unwind(|| p.validate_for_population(99));
         assert!(err.is_err(), "nν > population must be rejected");
+    }
+
+    #[test]
+    fn lane_packing_knob_round_trips() {
+        assert!(!ChiaroscuroParams::builder().build().lane_packing, "legacy path by default");
+        let p = ChiaroscuroParams::builder().lane_packing(true).build();
+        assert!(p.lane_packing);
+        // The conservative capacity bound is a pure function of the key
+        // parameters: 256-bit Paillier -> 254 packable bits (keygen only
+        // guarantees n >= 2^(key_bits-2), so key_bits-1 would overflow for
+        // ~39% of generated keys).
+        assert_eq!(p.packing_capacity_bits(), 254);
+        let mut dj2 = p.clone();
+        dj2.damgard_jurik_s = 2;
+        assert_eq!(dj2.packing_capacity_bits(), 508);
     }
 
     #[test]

@@ -8,28 +8,62 @@
 //! epidemic decryption.  This module reproduces that composition so the
 //! "≈26 minutes for the first iteration" narrative can be regenerated from
 //! our own measurements.
+//!
+//! Unit costs are **per ciphertext** and the model is parameterised on the
+//! number of ciphertexts one set of means occupies ([`SetShape`]), *not* on
+//! the historical one-ciphertext-per-coordinate assumption: with lane
+//! packing (`chiaroscuro_crypto::packing`) the same `k·(n+1)` coordinates
+//! travel in `⌈k·(n+1)/L⌉ + 1` ciphertexts, and the predicted transfer and
+//! crypto times shrink by the same factor.
 
 use serde::{Deserialize, Serialize};
 
-/// Locally measured unit costs (seconds / bytes), i.e. Figure 5.
+use chiaroscuro_crypto::wire::MeansWireModel;
+
+/// Locally measured per-ciphertext unit costs (seconds), i.e. Figure 5
+/// divided by the ciphertext count of one set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LocalCosts {
-    /// Time to encrypt one full set of means (seconds).
-    pub encrypt_set_secs: f64,
-    /// Time to homomorphically add two sets of means (seconds).
-    pub add_set_secs: f64,
-    /// Time to decrypt (partially + combine) one set of means (seconds).
-    pub decrypt_set_secs: f64,
-    /// Size of one set of encrypted means (bytes).
-    pub set_bytes: usize,
+    /// Time to encrypt one ciphertext (seconds).
+    pub encrypt_ciphertext_secs: f64,
+    /// Time to homomorphically add two ciphertexts (seconds).
+    pub add_ciphertext_secs: f64,
+    /// Time to decrypt (partially + combine) one ciphertext (seconds).
+    pub decrypt_ciphertext_secs: f64,
     /// Participant uplink/downlink bandwidth (bits per second).
     pub bandwidth_bits_per_sec: f64,
 }
 
-impl LocalCosts {
-    /// Transfer time of one set of means at the configured bandwidth.
-    pub fn transfer_set_secs(&self) -> f64 {
-        (self.set_bytes as f64 * 8.0) / self.bandwidth_bits_per_sec
+/// How many ciphertexts (and bytes) one transferred set of means occupies.
+///
+/// This is the packing-aware knob of the model: build it from a
+/// [`MeansWireModel`] — legacy or lane-packed — and every downstream
+/// estimate scales with the actual ciphertext count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetShape {
+    /// Ciphertexts per set of means (`k·(n+1)` legacy, `⌈k·(n+1)/L⌉ + 1`
+    /// packed).
+    pub ciphertexts_per_set: usize,
+    /// Size in bytes of one ciphertext.
+    pub ciphertext_bytes: usize,
+    /// Cleartext metadata bytes per set (weights, exchange counters).
+    pub cleartext_bytes: usize,
+}
+
+impl SetShape {
+    /// Derives the shape from a wire model (which already knows whether the
+    /// set is lane-packed).
+    pub fn from_wire_model(model: &MeansWireModel) -> Self {
+        Self {
+            ciphertexts_per_set: model.ciphertexts_per_set(),
+            ciphertext_bytes: model.ciphertext_bytes,
+            cleartext_bytes: model.num_means * model.cleartext_bytes_per_mean,
+        }
+    }
+
+    /// Total size in bytes of one set of encrypted means.
+    pub fn set_bytes(&self) -> usize {
+        self.ciphertexts_per_set * self.ciphertext_bytes + self.cleartext_bytes
     }
 }
 
@@ -45,16 +79,39 @@ pub struct IterationMessageCounts {
     pub decryption_messages_per_node: f64,
 }
 
-/// The latency model combining local costs with message counts.
+/// The latency model combining per-ciphertext costs, the set shape and the
+/// message counts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationCostModel {
-    /// Local unit costs.
+    /// Local per-ciphertext unit costs.
     pub local: LocalCosts,
+    /// Ciphertext count and sizes of one transferred set.
+    pub shape: SetShape,
     /// Message counts.
     pub messages: IterationMessageCounts,
 }
 
 impl IterationCostModel {
+    /// Time to encrypt one full set of means.
+    pub fn encrypt_set_secs(&self) -> f64 {
+        self.shape.ciphertexts_per_set as f64 * self.local.encrypt_ciphertext_secs
+    }
+
+    /// Time to homomorphically add two sets of means.
+    pub fn add_set_secs(&self) -> f64 {
+        self.shape.ciphertexts_per_set as f64 * self.local.add_ciphertext_secs
+    }
+
+    /// Time to threshold-decrypt one set of means.
+    pub fn decrypt_set_secs(&self) -> f64 {
+        self.shape.ciphertexts_per_set as f64 * self.local.decrypt_ciphertext_secs
+    }
+
+    /// Transfer time of one set of means at the configured bandwidth.
+    pub fn transfer_set_secs(&self) -> f64 {
+        (self.shape.set_bytes() as f64 * 8.0) / self.local.bandwidth_bits_per_sec
+    }
+
     /// Estimated wall-clock duration of one iteration for one participant,
     /// in seconds.
     ///
@@ -64,12 +121,12 @@ impl IterationCostModel {
     /// threshold decryption; the initial assignment requires one encryption
     /// of the local set.
     pub fn iteration_seconds(&self) -> f64 {
-        let transfer = self.local.transfer_set_secs();
-        let sum_phase = self.messages.sum_messages_per_node * (transfer + self.local.add_set_secs);
+        let transfer = self.transfer_set_secs();
+        let sum_phase = self.messages.sum_messages_per_node * (transfer + self.add_set_secs());
         let dissemination_phase = self.messages.dissemination_messages_per_node * transfer * 0.1;
         let decryption_phase =
-            self.messages.decryption_messages_per_node * (2.0 * transfer) + self.local.decrypt_set_secs;
-        self.local.encrypt_set_secs + sum_phase + dissemination_phase + decryption_phase
+            self.messages.decryption_messages_per_node * (2.0 * transfer) + self.decrypt_set_secs();
+        self.encrypt_set_secs() + sum_phase + dissemination_phase + decryption_phase
     }
 
     /// The same estimate in minutes.
@@ -82,61 +139,93 @@ impl IterationCostModel {
 mod tests {
     use super::*;
 
-    /// Paper-scale numbers: ~130 kB per set, 1 Mb/s links, hundreds of sum
-    /// messages.  The first iteration must land in the tens of minutes
-    /// (the paper reports ≈26 min), not seconds or days.
-    #[test]
-    fn paper_scale_iteration_is_tens_of_minutes() {
-        let model = IterationCostModel {
+    /// Paper-scale per-ciphertext numbers: 1050 ciphertexts of 256 bytes per
+    /// set, 1 Mb/s links, hundreds of sum messages.  The first iteration
+    /// must land in the tens of minutes (the paper reports ≈26 min), not
+    /// seconds or days.
+    fn paper_scale(ciphertexts_per_set: usize) -> IterationCostModel {
+        IterationCostModel {
             local: LocalCosts {
-                encrypt_set_secs: 3.0,
-                add_set_secs: 0.1,
-                decrypt_set_secs: 10.0,
-                set_bytes: 130_000,
+                encrypt_ciphertext_secs: 3.0 / 1_050.0,
+                add_ciphertext_secs: 0.1 / 1_050.0,
+                decrypt_ciphertext_secs: 10.0 / 1_050.0,
                 bandwidth_bits_per_sec: 1_000_000.0,
             },
+            shape: SetShape { ciphertexts_per_set, ciphertext_bytes: 124, cleartext_bytes: 800 },
             messages: IterationMessageCounts {
                 sum_messages_per_node: 2.0 * 100.0, // two epidemic sums, ~100 messages each
                 dissemination_messages_per_node: 50.0,
                 decryption_messages_per_node: 100.0,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn paper_scale_iteration_is_tens_of_minutes() {
+        let model = paper_scale(1_050);
         let minutes = model.iteration_minutes();
         assert!(minutes > 5.0 && minutes < 90.0, "minutes = {minutes}");
     }
 
     #[test]
     fn transfer_time_matches_bandwidth() {
-        let local = LocalCosts {
-            encrypt_set_secs: 0.0,
-            add_set_secs: 0.0,
-            decrypt_set_secs: 0.0,
-            set_bytes: 125_000, // 1 Mb
-            bandwidth_bits_per_sec: 1_000_000.0,
+        let model = IterationCostModel {
+            local: LocalCosts {
+                encrypt_ciphertext_secs: 0.0,
+                add_ciphertext_secs: 0.0,
+                decrypt_ciphertext_secs: 0.0,
+                bandwidth_bits_per_sec: 1_000_000.0,
+            },
+            shape: SetShape { ciphertexts_per_set: 1_000, ciphertext_bytes: 125, cleartext_bytes: 0 },
+            messages: IterationMessageCounts {
+                sum_messages_per_node: 0.0,
+                dissemination_messages_per_node: 0.0,
+                decryption_messages_per_node: 0.0,
+            },
         };
-        assert!((local.transfer_set_secs() - 1.0).abs() < 1e-9);
+        // 1000 · 125 B = 1 Mb at 1 Mb/s: one second.
+        assert!((model.transfer_set_secs() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn later_iterations_with_fewer_centroids_are_cheaper() {
         // The paper notes the fifth iteration takes ~10 min because 60% of
-        // the centroids became aberrant: fewer centroids mean a smaller set
-        // and thus faster transfers.
-        let base = LocalCosts {
-            encrypt_set_secs: 3.0,
-            add_set_secs: 0.1,
-            decrypt_set_secs: 10.0,
-            set_bytes: 130_000,
-            bandwidth_bits_per_sec: 1_000_000.0,
-        };
-        let messages = IterationMessageCounts {
-            sum_messages_per_node: 200.0,
-            dissemination_messages_per_node: 50.0,
-            decryption_messages_per_node: 100.0,
-        };
-        let first = IterationCostModel { local: base, messages };
-        let smaller_set = LocalCosts { set_bytes: 52_000, ..base };
-        let fifth = IterationCostModel { local: smaller_set, messages };
+        // the centroids became aberrant: fewer centroids mean fewer
+        // ciphertexts per set and thus faster transfers.
+        let first = paper_scale(1_050);
+        let fifth = paper_scale(420);
         assert!(fifth.iteration_seconds() < first.iteration_seconds());
+    }
+
+    #[test]
+    fn lane_packing_divides_the_iteration_estimate() {
+        // The packing-aware parameterisation: same per-ciphertext costs,
+        // 12 lanes per ciphertext -> ⌈1050/12⌉ + 1 = 89 ciphertexts, and
+        // the whole iteration estimate shrinks by ~the lane factor (the
+        // cleartext bytes are the only non-scaling term).
+        let legacy = paper_scale(1_050);
+        let packed = paper_scale(1_050usize.div_ceil(12) + 1);
+        let speedup = legacy.iteration_seconds() / packed.iteration_seconds();
+        assert!(speedup > 8.0, "packed iteration must be ~12x cheaper, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn shape_derives_from_the_wire_model() {
+        use chiaroscuro_crypto::wire::MeansWireModel;
+        let model = MeansWireModel {
+            num_means: 50,
+            measures_per_mean: 20,
+            ciphertext_bytes: 256,
+            cleartext_bytes_per_mean: 16,
+            lanes_per_ciphertext: 1,
+            counter_ciphertexts: 0,
+        };
+        let shape = SetShape::from_wire_model(&model);
+        assert_eq!(shape.ciphertexts_per_set, 1_050);
+        assert_eq!(shape.set_bytes(), model.set_bytes());
+        let packed = MeansWireModel { lanes_per_ciphertext: 12, counter_ciphertexts: 1, ..model };
+        let packed_shape = SetShape::from_wire_model(&packed);
+        assert_eq!(packed_shape.ciphertexts_per_set, 1_050usize.div_ceil(12) + 1);
+        assert!(packed_shape.set_bytes() < shape.set_bytes() / 8);
     }
 }

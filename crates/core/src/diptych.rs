@@ -15,6 +15,7 @@ use rand::Rng;
 
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
 use chiaroscuro_crypto::keys::PublicKey;
+use chiaroscuro_crypto::packing::PackedEncoder;
 use chiaroscuro_crypto::scheme::Ciphertext;
 use chiaroscuro_crypto::wire::MeansWireModel;
 use chiaroscuro_timeseries::TimeSeries;
@@ -59,16 +60,7 @@ impl Diptych {
     ) -> (Self, usize) {
         assert!(!centroids.is_empty());
         let n = local_series.len();
-        // Closest centroid (ties to the smallest index).
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (i, c) in centroids.iter().enumerate() {
-            let d = c.squared_distance(local_series);
-            if d < best_d {
-                best_d = d;
-                best = i;
-            }
-        }
+        let best = closest_centroid(centroids, local_series);
         let means = centroids
             .iter()
             .enumerate()
@@ -102,6 +94,92 @@ impl Diptych {
     pub fn wire_model(&self, public_key: &PublicKey) -> MeansWireModel {
         let measures = self.means.first().map(EncryptedMean::series_length).unwrap_or(0);
         MeansWireModel::new(public_key, self.means.len(), measures)
+    }
+}
+
+/// Index of the centroid closest to `series` (ties to the smallest index) —
+/// the assignment step of Algorithm 1, shared by the per-coordinate and
+/// lane-packed Diptych initialisations.
+pub fn closest_centroid(centroids: &[TimeSeries], series: &TimeSeries) -> usize {
+    assert!(!centroids.is_empty());
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = c.squared_distance(series);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The lane-packed encrypted side of a participant's initial Diptych: the
+/// same `k·(n+1)` coordinates as the [`EncryptedMean`]s (all sums
+/// cluster-major, then all counts) packed into `⌈k·(n+1)/L⌉` ciphertexts.
+///
+/// The counter ciphertext of the packed overflow contract is **not** part
+/// of this struct: one counter serves a whole gossip contribution (means
+/// *and* noise shares), so the runner appends it once per
+/// [`crate::evalue::EncryptedVector`].
+#[derive(Debug, Clone)]
+pub struct PackedMeans {
+    /// The packed sum-and-count ciphertexts, lane layout per the
+    /// [`PackedEncoder`] that built them.
+    pub ciphertexts: Vec<Ciphertext>,
+}
+
+impl PackedMeans {
+    /// Lane-packed counterpart of [`Diptych::initialise`]: the local series
+    /// is packed into the coordinates of its closest centroid's mean (count
+    /// 1), every other coordinate is zero, and the whole flat vector is
+    /// encrypted `L` lanes at a time.
+    ///
+    /// Returns the packed means and the assignment index, exactly like the
+    /// per-coordinate path (the assignment is a pure function of the
+    /// centroids, so both paths always agree).
+    pub fn initialise<R: Rng + ?Sized>(
+        centroids: &[TimeSeries],
+        local_series: &TimeSeries,
+        public_key: &Arc<PublicKey>,
+        packer: &PackedEncoder,
+        rng: &mut R,
+    ) -> (Self, usize) {
+        let k = centroids.len();
+        let n = local_series.len();
+        let best = closest_centroid(centroids, local_series);
+        // Flat coordinate layout shared with the legacy path: all sums
+        // cluster-major, then all counts.
+        let mut coordinates = vec![0.0f64; k * (n + 1)];
+        coordinates[best * n..(best + 1) * n].copy_from_slice(local_series.values());
+        coordinates[k * n + best] = 1.0;
+        let ciphertexts = packer
+            .pack(&coordinates)
+            .iter()
+            .map(|m| public_key.encrypt(m, rng))
+            .collect();
+        (Self { ciphertexts }, best)
+    }
+
+    /// Number of data ciphertexts (excluding the shared counter).
+    pub fn len(&self) -> usize {
+        self.ciphertexts.len()
+    }
+
+    /// Whether the packed means hold no ciphertext (they never do for
+    /// `k ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.ciphertexts.is_empty()
+    }
+
+    /// The wire-size model for a packed set of means.
+    pub fn wire_model(
+        public_key: &PublicKey,
+        k: usize,
+        series_length: usize,
+        packer: &PackedEncoder,
+    ) -> MeansWireModel {
+        MeansWireModel::new_packed(public_key, k, series_length, packer.lanes())
     }
 }
 
@@ -152,6 +230,50 @@ mod tests {
         let model = diptych.wire_model(&pk);
         assert_eq!(model.ciphertexts_per_set(), 3 * (4 + 1));
         assert!(model.set_bytes() > 0);
+    }
+
+    #[test]
+    fn packed_initialise_matches_the_per_coordinate_diptych() {
+        use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
+        use num_bigint::BigUint;
+
+        let (kp, pk, encoder, mut rng) = setup();
+        let budget =
+            LaneBudget { contributors: 8, doubling_budget: 4, max_abs_value: 80.0, biased_vectors: 1 };
+        let packer =
+            PackedEncoder::plan(pk.packing_capacity_bits(), &encoder, &budget).unwrap();
+        let centroids = vec![
+            TimeSeries::new(vec![0.0, 0.0, 0.0]),
+            TimeSeries::new(vec![10.0, 10.0, 10.0]),
+        ];
+        let series = TimeSeries::new(vec![9.0, 9.5, 8.75]);
+        let (k, n) = (2usize, 3usize);
+        let (packed, packed_assigned) =
+            PackedMeans::initialise(&centroids, &series, &pk, &packer, &mut rng);
+        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        assert_eq!(packed_assigned, assigned, "both paths must agree on the assignment");
+        assert_eq!(packed.len(), packer.ciphertexts_for(k * (n + 1)));
+        assert!(packed.len() < k * (n + 1), "packing must use fewer ciphertexts");
+        assert!(!packed.is_empty());
+
+        // Decrypt + unpack (single contribution: counter C = 1, one biased
+        // vector) and compare with the per-coordinate decodes.
+        let plaintexts: Vec<BigUint> =
+            packed.ciphertexts.iter().map(|c| kp.secret.decrypt(&kp.public, c)).collect();
+        let decoded = packer.unpack(&plaintexts, k * (n + 1), &BigUint::from(1u32), 1);
+        for cluster in 0..k {
+            for j in 0..n {
+                let legacy = encoder
+                    .decode(&kp.secret.decrypt(&kp.public, &diptych.means[cluster].sums[j]), &kp.public);
+                assert_eq!(decoded[cluster * n + j], legacy, "sum ({cluster}, {j})");
+            }
+            let legacy_count = encoder
+                .decode(&kp.secret.decrypt(&kp.public, &diptych.means[cluster].count), &kp.public);
+            assert_eq!(decoded[k * n + cluster], legacy_count, "count {cluster}");
+        }
+        // The packed wire model reflects the reduced ciphertext count.
+        let model = PackedMeans::wire_model(&pk, k, n, &packer);
+        assert_eq!(model.ciphertexts_per_set(), packed.len() + 1, "data blocks + counter");
     }
 
     #[test]

@@ -64,6 +64,12 @@ impl EpidemicValue for EncryptedVector {
             *a = self.public_key.add(a, b);
         }
     }
+
+    fn payload_units(&self) -> usize {
+        // One gossip message carries the whole vector: its ciphertext count
+        // is the wire payload, and lane packing shrinks exactly this number.
+        self.ciphertexts.len()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //!   (Table 2);
 //! * [`diptych`] — the Diptych data structure (Definition 6): cleartext
 //!   differentially-private centroids on one side, additively-homomorphic
-//!   encrypted means on the other;
+//!   encrypted means on the other (per-coordinate or lane-packed);
 //! * [`evalue`] — the encrypted-mean vector as an epidemic value, i.e. the
 //!   bridge between the crypto substrate and the EESum gossip rule
 //!   (Algorithm 2);
@@ -36,7 +36,7 @@ pub mod runner;
 pub mod surrogate;
 
 pub use config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
-pub use diptych::{Diptych, EncryptedMean};
+pub use diptych::{Diptych, EncryptedMean, PackedMeans};
 pub use runner::{DistributedRun, RunOutcome};
 
 /// Commonly used items.

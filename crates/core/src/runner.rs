@@ -39,6 +39,18 @@
 //! seed is drawn from the master RNG *before* dispatch, and decryption
 //! consumes no randomness, so the same seed produces bit-identical outputs
 //! whatever the thread count (the scenario matrix asserts this).
+//!
+//! # Lane packing
+//!
+//! With [`ChiaroscuroParams::lane_packing`] enabled the same hot spots run
+//! over lane-packed ciphertexts (`chiaroscuro_crypto::packing`): each
+//! participant encrypts `2·⌈k·(n+1)/L⌉ + 1` ciphertexts instead of
+//! `2·k·(n+1)`, gossip messages shrink by the same factor, and only
+//! `⌈k·(n+1)/L⌉ + 1` threshold decryptions recover all perturbed values.
+//! Noise sampling is seeded independently of encryption randomness, so the
+//! packed and legacy pipelines consume identical noise and decode
+//! **bit-identical** centroids from the same seed — packing composes with
+//! `pool_threads`, and both equalities are asserted by the scenario matrix.
 
 use std::sync::Arc;
 
@@ -46,11 +58,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use num_bigint::BigUint;
+
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
 use chiaroscuro_crypto::keys::{KeyPair, PublicKey};
+use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
 use chiaroscuro_crypto::scheme::Ciphertext;
 use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
 use chiaroscuro_dp::laplace::{LaplaceMechanism, Sensitivity};
+use chiaroscuro_dp::noise_share::NoiseShareGenerator;
+use chiaroscuro_gossip::eesum::EpidemicValue;
 use chiaroscuro_gossip::churn::ChurnModel;
 use chiaroscuro_gossip::dissemination::{converged, winning_state, DisseminationProtocol, MinIdState};
 use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesSumProtocol};
@@ -62,7 +79,7 @@ use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet};
 
 use crate::audit::{DataClass, SecurityAudit};
 use crate::config::ChiaroscuroParams;
-use crate::diptych::Diptych;
+use crate::diptych::{Diptych, PackedMeans};
 use crate::evalue::EncryptedVector;
 use crate::noise::{NoiseCorrection, NoiseShareVector};
 use crate::participant::Participant;
@@ -90,6 +107,11 @@ pub struct IterationNetworkStats {
     /// persistent non-zero deficit means the aggregated Laplace noise is
     /// below its calibrated scale for this iteration.
     pub noise_share_deficit: usize,
+    /// Ciphertexts carried by one epidemic-sum gossip message (the whole
+    /// encrypted contribution vector).  `2·k·(n+1)` on the legacy path;
+    /// lane packing divides the data part by the lane count and adds one
+    /// counter ciphertext, so this is where the bandwidth saving shows.
+    pub sum_payload_ciphertexts: usize,
 }
 
 /// The outcome of a distributed Chiaroscuro run.
@@ -134,7 +156,84 @@ impl<'a> DistributedRun<'a> {
             "the key-share threshold cannot exceed the population"
         );
         params.validate_for_population(data.len());
-        Self { params, data, initial_centroids: None }
+        let run = Self { params, data, initial_centroids: None };
+        // Up-front lane validation (mirroring validate_for_population): an
+        // overflowing lane configuration is rejected here, before any key
+        // generation or encryption, never discovered as corruption later.
+        let _ = run.plan_packing();
+        run
+    }
+
+    /// Plans the lane-packed encoder for this run, or `None` when
+    /// [`ChiaroscuroParams::lane_packing`] is off.
+    ///
+    /// The layout is a pure function of the parameters and the dataset
+    /// bounds — the same plan validates the configuration in [`Self::new`]
+    /// and drives the hot path in [`Self::execute_with_rng`].  Its lane
+    /// budget covers the population, the worst per-iteration noise scale of
+    /// the ε schedule (64 Laplace e-folds of tail headroom per share), and
+    /// an epidemic doubling allowance of `8·exchanges + 32`: the EESum
+    /// exchange counter cascades within a round (sequential exchanges reuse
+    /// freshly bumped states), growing by ~5–6 per round empirically — the
+    /// gossip crate pins that law with its own regression test — so 8 per
+    /// round plus slack leaves a wide margin.  Should a freak schedule ever
+    /// exceed it anyway, the decode-time guard in `PackedEncoder::unpack`
+    /// fails loudly instead of corrupting lanes.
+    ///
+    /// # Panics
+    /// Panics if packing is enabled but no lane layout fits the key size.
+    fn plan_packing(&self) -> Option<PackedEncoder> {
+        if !self.params.lane_packing {
+            return None;
+        }
+        let population = self.data.len();
+        let n = self.data.series_length();
+        let exchanges = self.params.effective_exchanges(population, n);
+        // The largest noise scales of the whole run come from the leanest
+        // per-iteration budget of the schedule.
+        let schedule = self.params.budget_schedule();
+        let min_epsilon = (0..self.params.max_iterations)
+            .map(|i| schedule.epsilon_for_iteration(i))
+            .filter(|&e| e > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_epsilon.is_finite(), "the budget schedule grants no iteration any ε");
+        let sensitivity = Sensitivity::from_range(n, self.data.range().min, self.data.range().max);
+        let mechanism = LaplaceMechanism::new(sensitivity, min_epsilon)
+            .with_gossip_error_bound(self.params.gossip_error_bound);
+        let noise_bound = NoiseShareGenerator::new(self.params.num_noise_shares, mechanism.sum_scale())
+            .magnitude_bound()
+            .max(
+                NoiseShareGenerator::new(self.params.num_noise_shares, mechanism.count_scale())
+                    .magnitude_bound(),
+            );
+        let range_magnitude = self.data.range().min.abs().max(self.data.range().max.abs());
+        let budget = LaneBudget {
+            contributors: population,
+            doubling_budget: 8 * exchanges + 32,
+            max_abs_value: range_magnitude.max(1.0).max(noise_bound),
+            biased_vectors: 2, // the means vector plus the noise-share vector
+        };
+        let encoder = FixedPointEncoder::new(self.params.encoding_digits);
+        match PackedEncoder::plan(self.params.packing_capacity_bits(), &encoder, &budget) {
+            Ok(packer) => {
+                // A single-lane layout is arithmetically valid but strictly
+                // worse than the legacy path (same data ciphertexts plus a
+                // counter).  The knob promises a performance win, so a
+                // configuration that cannot deliver one is rejected loudly
+                // instead of silently inflating every phase.
+                assert!(
+                    packer.lanes() >= 2,
+                    "lane_packing is enabled but the configuration cannot pack: the layout \
+                     degenerates to a single {}-bit lane in the {}-bit capacity, which would \
+                     cost more than the legacy path; use a larger key, fewer gossip \
+                     exchanges, or disable lane_packing",
+                    packer.layout().lane_bits,
+                    self.params.packing_capacity_bits(),
+                );
+                Some(packer)
+            }
+            Err(e) => panic!("lane_packing is enabled but the configuration cannot pack: {e}"),
+        }
     }
 
     /// Provides explicit initial centroids (otherwise `k` series are drawn
@@ -162,10 +261,25 @@ impl<'a> DistributedRun<'a> {
         let population = data.len();
         let n = data.series_length();
         let k = params.k;
+        // Coordinates of one perturbed-values vector: k dimension-wise sums
+        // of length n plus k counts.
+        let entries = k * (n + 1);
+        let packing = self.plan_packing();
 
         // --- Bootstrap: key material, key-shares, initial centroids. ---
         let keypair = KeyPair::generate(params.key_bits, params.damgard_jurik_s, rng);
         let public_key = Arc::new(keypair.public.clone());
+        if let Some(packer) = &packing {
+            // The layout was planned from the pre-keygen capacity bound;
+            // re-check it against the modulus actually generated so a
+            // packed plaintext can never reach n^s (belt and braces — the
+            // conservative bound already covers every possible key).
+            let layout = packer.layout();
+            assert!(
+                layout.lanes as u64 * layout.lane_bits <= public_key.packing_capacity_bits(),
+                "planned lane layout exceeds the generated key's plaintext capacity"
+            );
+        }
         let dealer = ThresholdDealer::new(&keypair, population, params.key_share_threshold);
         let key_shares = dealer.deal(rng);
         let participants: Vec<Participant> = data
@@ -212,39 +326,69 @@ impl<'a> DistributedRun<'a> {
             // --- Assignment step: local, per participant (parallelised). ---
             // Each device draws from its own RNG stream whose seed comes off
             // the master RNG before dispatch, so ciphertext randomness is
-            // identical whatever the pool size.
+            // identical whatever the pool size.  The device stream is split
+            // further into a noise sub-stream and an encryption sub-stream:
+            // noise draws are then identical whichever encoding path runs
+            // (the packed path encrypts fewer ciphertexts, so interleaving
+            // noise with encryption would desynchronise the two pipelines
+            // and break their bit-equality).
             let participant_seeds: Vec<u64> = (0..population).map(|_| rng.gen()).collect();
             let centroids_view = &centroids;
             let contributions: Vec<(usize, EncryptedVector)> = pool.map(&participants, |i, participant| {
                 let mut device_rng = StdRng::seed_from_u64(participant_seeds[i]);
-                let (diptych, assigned) = Diptych::initialise(
-                    centroids_view,
-                    &participant.series,
-                    &public_key,
-                    &encoder,
-                    &mut device_rng,
-                );
-                // Flatten: all sum ciphertexts (cluster-major), then all counts,
-                // then the participant's encrypted noise shares in the same layout.
+                let noise_seed: u64 = device_rng.gen();
+                let encryption_seed: u64 = device_rng.gen();
                 let noise = NoiseShareVector::generate(
                     k,
                     n,
                     sum_scale,
                     count_scale,
                     params.num_noise_shares,
-                    &mut device_rng,
+                    &mut StdRng::seed_from_u64(noise_seed),
                 );
-                let mut flat: Vec<Ciphertext> = Vec::with_capacity(2 * k * (n + 1));
-                for mean in &diptych.means {
-                    flat.extend(mean.sums.iter().cloned());
+                let mut device_rng = StdRng::seed_from_u64(encryption_seed);
+                if let Some(packer) = &packing {
+                    // Lane-packed contribution: ⌈k·(n+1)/L⌉ means ciphertexts,
+                    // as many noise-share ciphertexts (same lane layout, so
+                    // the runner can add them pairwise before decryption),
+                    // and one shared counter ciphertext for the accumulated
+                    // bias.
+                    let (means, assigned) = PackedMeans::initialise(
+                        centroids_view,
+                        &participant.series,
+                        &public_key,
+                        packer,
+                        &mut device_rng,
+                    );
+                    let mut flat = means.ciphertexts;
+                    flat.reserve(flat.len() + 1);
+                    for m in packer.pack(&noise.flatten()) {
+                        flat.push(public_key.encrypt(&m, &mut device_rng));
+                    }
+                    flat.push(public_key.encrypt(&packer.counter_plaintext(), &mut device_rng));
+                    (assigned, EncryptedVector::new(public_key.clone(), flat))
+                } else {
+                    let (diptych, assigned) = Diptych::initialise(
+                        centroids_view,
+                        &participant.series,
+                        &public_key,
+                        &encoder,
+                        &mut device_rng,
+                    );
+                    // Flatten: all sum ciphertexts (cluster-major), then all counts,
+                    // then the participant's encrypted noise shares in the same layout.
+                    let mut flat: Vec<Ciphertext> = Vec::with_capacity(2 * entries);
+                    for mean in &diptych.means {
+                        flat.extend(mean.sums.iter().cloned());
+                    }
+                    for mean in &diptych.means {
+                        flat.push(mean.count.clone());
+                    }
+                    for share in noise.flatten() {
+                        flat.push(public_key.encrypt(&encoder.encode(share, &public_key), &mut device_rng));
+                    }
+                    (assigned, EncryptedVector::new(public_key.clone(), flat))
                 }
-                for mean in &diptych.means {
-                    flat.push(mean.count.clone());
-                }
-                for share in noise.flatten() {
-                    flat.push(public_key.encrypt(&encoder.encode(share, &public_key), &mut device_rng));
-                }
-                (assigned, EncryptedVector::new(public_key.clone(), flat))
             });
             let mut labels = Vec::with_capacity(population);
             let mut contribution_vectors = Vec::with_capacity(population);
@@ -255,6 +399,10 @@ impl<'a> DistributedRun<'a> {
                 audit.record(iteration, "encrypted noise shares", DataClass::Encrypted);
                 audit.record(iteration, "epidemic weight and exchange counter", DataClass::DataIndependent);
             }
+            // One gossip message carries one whole contribution vector; its
+            // ciphertext count is the per-message sum payload (reported in
+            // the iteration stats, where lane packing's saving is visible).
+            let sum_payload_ciphertexts = contribution_vectors[0].payload_units();
 
             // Reporting-only PRE metrics (never exchanged between devices).
             let assignment = assignment_from_labels(&labels, k);
@@ -334,26 +482,49 @@ impl<'a> DistributedRun<'a> {
 
             // --- Computation step (c): perturbation and threshold decryption. ---
             let weight = reference_state.weight;
-            let entries = k * (n + 1);
             let tau = params.key_share_threshold;
-            // Each entry is independent: one homomorphic add of the means
-            // part and the noise part (same epidemic scaling because they
-            // travelled in the same vector), τ partial decryptions, one
+            // Each ciphertext is independent: one homomorphic add of the
+            // means part and the noise part (same epidemic scaling because
+            // they travelled in the same vector), τ partial decryptions, one
             // combine.  No randomness is involved, so the parallel map is
             // trivially deterministic.
-            let decrypted: Vec<f64> = pool.map_range(entries, |i| {
-                let perturbed = public_key.add(
-                    &reference_state.value.ciphertexts()[i],
-                    &reference_state.value.ciphertexts()[entries + i],
-                );
+            let threshold_decrypt = |ciphertext: &Ciphertext| -> BigUint {
                 let partials: Vec<PartialDecryption> = participants[..tau]
                     .iter()
-                    .map(|p| p.key_share.partial_decrypt(&public_key, &perturbed))
+                    .map(|p| p.key_share.partial_decrypt(&public_key, ciphertext))
                     .collect();
-                let plain = combine(&public_key, &partials, tau, population)
-                    .expect("threshold decryption with exactly tau distinct shares");
-                encoder.decode(&plain, &public_key) / weight
-            });
+                combine(&public_key, &partials, tau, population)
+                    .expect("threshold decryption with exactly tau distinct shares")
+            };
+            let decrypted: Vec<f64> = if let Some(packer) = &packing {
+                // Packed: ⌈entries/L⌉ perturbed data ciphertexts plus the
+                // counter — an ~L× cut in threshold decryptions.  The
+                // counter recovers the accumulated bias (2·B·C: means and
+                // noise are both biased) and feeds the overflow guard.
+                let blocks = packer.ciphertexts_for(entries);
+                let cts = reference_state.value.ciphertexts();
+                let plaintexts: Vec<BigUint> = pool.map_range(blocks + 1, |i| {
+                    if i < blocks {
+                        threshold_decrypt(&public_key.add(&cts[i], &cts[blocks + i]))
+                    } else {
+                        threshold_decrypt(&cts[2 * blocks])
+                    }
+                });
+                let counter = &plaintexts[blocks];
+                packer
+                    .unpack(&plaintexts[..blocks], entries, counter, 2)
+                    .iter()
+                    .map(|v| v / weight)
+                    .collect()
+            } else {
+                pool.map_range(entries, |i| {
+                    let perturbed = public_key.add(
+                        &reference_state.value.ciphertexts()[i],
+                        &reference_state.value.ciphertexts()[entries + i],
+                    );
+                    encoder.decode(&threshold_decrypt(&perturbed), &public_key) / weight
+                })
+            };
             audit.record(iteration, "partial decryptions of perturbed means", DataClass::DifferentiallyPrivate);
 
             // Rebuild the perturbed means, apply the correction and smoothing.
@@ -398,6 +569,7 @@ impl<'a> DistributedRun<'a> {
                 sum_rounds: sum_engine.metrics().rounds(),
                 dissemination_converged,
                 noise_share_deficit,
+                sum_payload_ciphertexts,
             });
 
             // --- Convergence step. ---
@@ -578,6 +750,113 @@ mod tests {
         assert_eq!(serial_values, parallel_values, "pool size must not change the outcome");
         assert_eq!(serial.network, parallel.network);
         assert_eq!(serial.audit.events().len(), parallel.audit.events().len());
+    }
+
+    #[test]
+    fn lane_packed_and_legacy_runs_are_bit_exact() {
+        // The tentpole contract: packing changes how many ciphertexts carry
+        // the data, never a single decoded bit.  Same seed -> identical
+        // centroids, and the packed gossip payload is a fraction of legacy.
+        let data = tiny_dataset(16);
+        // 8 exchanges keep the epidemic doubling allowance small enough for
+        // the 256-bit test key to fit two lanes per plaintext.
+        let legacy = {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.lane_packing = false;
+            DistributedRun::new(params, &data).execute(29)
+        };
+        let packed = {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.lane_packing = true;
+            DistributedRun::new(params, &data).execute(29)
+        };
+        let legacy_values: Vec<Vec<f64>> =
+            legacy.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let packed_values: Vec<Vec<f64>> =
+            packed.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(legacy_values, packed_values, "lane packing must not change any decoded value");
+        assert_eq!(legacy.report.num_iterations(), packed.report.num_iterations());
+        assert_eq!(legacy.audit.events().len(), packed.audit.events().len());
+        let legacy_payload = legacy.network[0].sum_payload_ciphertexts;
+        let packed_payload = packed.network[0].sum_payload_ciphertexts;
+        assert_eq!(legacy_payload, 2 * 2 * (4 + 1), "legacy carries 2·k·(n+1) ciphertexts");
+        assert!(
+            packed_payload < legacy_payload,
+            "packing must shrink the gossip payload ({packed_payload} vs {legacy_payload})"
+        );
+    }
+
+    #[test]
+    fn lane_packing_composes_with_the_thread_pool() {
+        // packing + pool_threads together must still be bit-identical to
+        // the serial packed run (the per-participant RNG stream discipline
+        // covers both knobs at once).
+        let data = tiny_dataset(16);
+        let run = |pool_threads: usize| {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.lane_packing = true;
+            params.pool_threads = pool_threads;
+            DistributedRun::new(params, &data).execute(31)
+        };
+        let serial = run(1);
+        let pooled = run(4);
+        let serial_values: Vec<Vec<f64>> =
+            serial.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let pooled_values: Vec<Vec<f64>> =
+            pooled.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(serial_values, pooled_values);
+        assert_eq!(serial.network, pooled.network);
+    }
+
+    #[test]
+    fn lane_packing_survives_churn_deterministically() {
+        // Churn only removes exchanges from gossip rounds (the doubling
+        // budget's worst case is churn-free), but the packed decode path
+        // must still hold under it: the run completes, stays deterministic,
+        // and keeps its payload advantage.
+        let data = tiny_dataset(16);
+        let run = || {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.churn = 0.3;
+            params.lane_packing = true;
+            DistributedRun::new(params, &data).execute(37)
+        };
+        let a = run();
+        let b = run();
+        let a_values: Vec<Vec<f64>> = a.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let b_values: Vec<Vec<f64>> = b.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(a_values, b_values, "packed churny runs must stay deterministic");
+        assert!(a.network[0].sum_payload_ciphertexts < 2 * 2 * (4 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn overflowing_lane_configuration_is_rejected_at_validation() {
+        // A 64-bit key cannot absorb the worst-case lane accumulation: the
+        // run must refuse at construction (before any key generation or
+        // encryption), not corrupt lanes silently mid-run.
+        let data = tiny_dataset(16);
+        let mut params = tiny_params(2, 1);
+        params.key_bits = 64;
+        params.lane_packing = true;
+        let _ = DistributedRun::new(params, &data);
+    }
+
+    #[test]
+    #[should_panic(expected = "single")]
+    fn single_lane_configuration_is_rejected_at_validation() {
+        // 12 exchanges at a 256-bit key leave room for exactly one lane:
+        // arithmetically fine, but strictly worse than the legacy path
+        // (every data ciphertext plus a counter), so the performance knob
+        // must refuse instead of silently inflating every phase.
+        let data = tiny_dataset(16);
+        let mut params = tiny_params(2, 1); // .exchanges(12)
+        params.lane_packing = true;
+        let _ = DistributedRun::new(params, &data);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! the sum of the values as long as the accumulated magnitude stays far
 //! below `n^s / 2`, which a 1024-bit modulus guarantees for any realistic
 //! population (3M series of magnitude ≤ 80·10³ is ~2.4·10¹¹ ≪ 2^1023).
+//!
+//! That headroom — a thousand-bit plaintext carrying a ~40-bit sum — is
+//! exactly what [`crate::packing`] exploits: instead of one coordinate per
+//! ciphertext, many coordinates share one plaintext in disjoint bit-lanes,
+//! cutting encryptions, gossip payloads and decryptions proportionally.
 
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
@@ -87,7 +92,10 @@ impl Default for FixedPointEncoder {
 }
 
 /// Lossy conversion of a (decoded-magnitude) big integer to `f64`.
-fn biguint_to_f64(value: &BigUint) -> f64 {
+///
+/// Shared with [`crate::packing`]: both decode paths must run the exact same
+/// integer-to-float conversion for their results to be bit-identical.
+pub(crate) fn biguint_to_f64(value: &BigUint) -> f64 {
     // Values that matter are far below 2^128; fall back to a digit-by-digit
     // conversion for larger (pathological) inputs.
     let digits = value.to_u64_digits();

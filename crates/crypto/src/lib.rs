@@ -23,6 +23,9 @@
 //!   key-share, and combination of τ partial decryptions;
 //! * [`encoding`] — fixed-point encoding of real-valued time-series measures
 //!   (and of possibly *negative* noise shares) into the plaintext space;
+//! * [`packing`] — the lane-packed vector encoding: many fixed-point
+//!   coordinates per plaintext in disjoint bit-lanes, with a validated
+//!   overflow contract (cuts ciphertext counts by the lane factor);
 //! * [`wire`] — the ciphertext wire-size model used by the bandwidth figures.
 //!
 //! # Security caveat
@@ -38,6 +41,7 @@
 pub mod arith;
 pub mod encoding;
 pub mod keys;
+pub mod packing;
 pub mod primes;
 pub mod scheme;
 pub mod threshold;
@@ -45,6 +49,7 @@ pub mod wire;
 
 pub use encoding::FixedPointEncoder;
 pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use packing::{LaneBudget, PackedEncoder, PackedLayout, PackingError};
 pub use scheme::Ciphertext;
 pub use threshold::{KeyShare, PartialDecryption, ThresholdDealer};
 
@@ -52,6 +57,7 @@ pub use threshold::{KeyShare, PartialDecryption, ThresholdDealer};
 pub mod prelude {
     pub use crate::encoding::FixedPointEncoder;
     pub use crate::keys::{KeyPair, PublicKey, SecretKey};
+    pub use crate::packing::{LaneBudget, PackedEncoder, PackedLayout, PackingError};
     pub use crate::scheme::Ciphertext;
     pub use crate::threshold::{KeyShare, PartialDecryption, ThresholdDealer};
 }

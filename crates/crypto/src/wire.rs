@@ -26,23 +26,60 @@ pub struct MeansWireModel {
     /// Size in bytes of the cleartext per-mean metadata (weight + exchange
     /// counter, both 8-byte values).
     pub cleartext_bytes_per_mean: usize,
+    /// Coordinates per ciphertext: 1 for the per-coordinate legacy encoding,
+    /// the lane count `L` when lane packing is enabled (see
+    /// `chiaroscuro_crypto::packing`).
+    pub lanes_per_ciphertext: usize,
+    /// Bookkeeping ciphertexts per set: 0 for the legacy encoding, 1 for a
+    /// packed set (the accumulated-bias counter).  Kept separate from the
+    /// lane count because a degenerate packed layout can have `L = 1` and
+    /// still carries its counter.
+    pub counter_ciphertexts: usize,
 }
 
 impl MeansWireModel {
-    /// Builds the model from a public key and the clustering dimensions.
+    /// Builds the model from a public key and the clustering dimensions
+    /// (legacy per-coordinate encoding: one ciphertext per coordinate, no
+    /// counter).
     pub fn new(pk: &PublicKey, num_means: usize, measures_per_mean: usize) -> Self {
+        Self {
+            counter_ciphertexts: 0,
+            ..Self::new_packed(pk, num_means, measures_per_mean, 1)
+        }
+    }
+
+    /// Builds the model for a lane-packed set: `lanes` coordinates share
+    /// each ciphertext and one counter ciphertext rides along for the
+    /// accumulated-bias bookkeeping (even in the degenerate `lanes = 1`
+    /// layout, which a valid plan can produce on small keys).
+    pub fn new_packed(
+        pk: &PublicKey,
+        num_means: usize,
+        measures_per_mean: usize,
+        lanes: usize,
+    ) -> Self {
+        assert!(lanes >= 1, "a ciphertext carries at least one coordinate");
         Self {
             num_means,
             measures_per_mean,
             ciphertext_bytes: pk.ciphertext_bytes(),
             cleartext_bytes_per_mean: 16,
+            lanes_per_ciphertext: lanes,
+            counter_ciphertexts: 1,
         }
     }
 
-    /// Number of ciphertexts in one set of means: `k · (n + 1)` (sums plus
+    /// Number of coordinates in one set of means: `k · (n + 1)` (sums plus
     /// the count).
-    pub fn ciphertexts_per_set(&self) -> usize {
+    pub fn coordinates_per_set(&self) -> usize {
         self.num_means * (self.measures_per_mean + 1)
+    }
+
+    /// Number of ciphertexts in one set of means: one per coordinate in the
+    /// legacy encoding, `⌈k·(n+1) / L⌉ + 1` (data lanes plus the counter)
+    /// when packed.
+    pub fn ciphertexts_per_set(&self) -> usize {
+        self.coordinates_per_set().div_ceil(self.lanes_per_ciphertext) + self.counter_ciphertexts
     }
 
     /// Total size in bytes of one set of encrypted means.
@@ -109,12 +146,33 @@ mod tests {
             measures_per_mean: 20,
             ciphertext_bytes: 256, // 2048-bit ciphertexts for a 1024-bit key
             cleartext_bytes_per_mean: 16,
+            lanes_per_ciphertext: 1,
+            counter_ciphertexts: 0,
         };
         assert_eq!(model.ciphertexts_per_set(), 1_050);
         let kb = model.set_kilobytes();
         assert!(kb > 200.0 && kb < 300.0, "kb = {kb}");
         assert_eq!(model.sum_exchange_bytes(), 2 * model.set_bytes());
         assert_eq!(model.decryption_exchange_bytes(), 4 * model.set_bytes());
+    }
+
+    #[test]
+    fn lane_packing_divides_the_payload() {
+        // Packing 12 coordinates per ciphertext turns the paper's 1050
+        // ciphertexts into ⌈1050/12⌉ + 1 = 89 — an ~11.8× payload cut.
+        let packed = MeansWireModel {
+            num_means: 50,
+            measures_per_mean: 20,
+            ciphertext_bytes: 256,
+            cleartext_bytes_per_mean: 16,
+            lanes_per_ciphertext: 12,
+            counter_ciphertexts: 1,
+        };
+        assert_eq!(packed.coordinates_per_set(), 1_050);
+        assert_eq!(packed.ciphertexts_per_set(), 1_050usize.div_ceil(12) + 1);
+        let legacy = MeansWireModel { lanes_per_ciphertext: 1, counter_ciphertexts: 0, ..packed };
+        let ratio = legacy.set_bytes() as f64 / packed.set_bytes() as f64;
+        assert!(ratio > 8.0, "packed payload must shrink by ~the lane factor, got {ratio:.1}x");
     }
 
     #[test]

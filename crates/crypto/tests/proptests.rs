@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
 use chiaroscuro_crypto::keys::KeyPair;
+use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder, PackingError};
 use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
 use num_bigint::BigUint;
 use proptest::prelude::*;
@@ -134,5 +135,118 @@ proptest! {
         let decoded = enc.decode(&acc, &kp.public);
         let expected: f64 = values.iter().sum();
         prop_assert!((decoded - expected).abs() < 1e-2 * values.len() as f64);
+    }
+
+    #[test]
+    fn packing_homomorphic_sum_round_trips_to_scalar_sums(
+        // Up to 7 contributors of 9 signed coordinates each: negative values
+        // stand in for the noise shares that must survive the biased lanes.
+        contributions in prop::collection::vec(
+            prop::collection::vec(-500.0f64..500.0, 9),
+            1..8,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let enc = FixedPointEncoder::new(3);
+        let budget = LaneBudget {
+            contributors: 8,
+            doubling_budget: 4,
+            max_abs_value: 600.0,
+            biased_vectors: 1,
+        };
+        let packer =
+            PackedEncoder::plan(kp.public.packing_capacity_bits(), &enc, &budget).unwrap();
+        prop_assert!(packer.lanes() >= 2, "the 160-bit test key must fit several lanes");
+        let dims = contributions[0].len();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // pack -> encrypt -> homomorphically add N contributions (+ counter).
+        let mut acc: Vec<chiaroscuro_crypto::scheme::Ciphertext> =
+            packer.pack(&contributions[0]).iter().map(|m| kp.public.encrypt(m, &mut rng)).collect();
+        let mut counter = kp.public.encrypt(&packer.counter_plaintext(), &mut rng);
+        for c in &contributions[1..] {
+            for (a, m) in acc.iter_mut().zip(packer.pack(c).iter()) {
+                *a = kp.public.add(a, &kp.public.encrypt(m, &mut rng));
+            }
+            counter = kp.public.add(&counter, &kp.public.encrypt(&packer.counter_plaintext(), &mut rng));
+        }
+
+        // decrypt -> unpack == the scalar per-coordinate sums.
+        let plaintexts: Vec<BigUint> =
+            acc.iter().map(|c| kp.secret.decrypt(&kp.public, c)).collect();
+        let counter_plain = kp.secret.decrypt(&kp.public, &counter);
+        prop_assert_eq!(&counter_plain, &BigUint::from(contributions.len()));
+        let decoded = packer.unpack(&plaintexts, dims, &counter_plain, 1);
+        for (i, d) in decoded.iter().enumerate() {
+            let expected: f64 = contributions.iter().map(|c| c[i]).sum();
+            // Each addend rounds to 3 decimals: the packed sum is exact in
+            // that fixed-point arithmetic.
+            prop_assert!(
+                (d - expected).abs() <= 0.5e-3 * contributions.len() as f64,
+                "coordinate {}: {} vs {}", i, d, expected
+            );
+        }
+    }
+
+    #[test]
+    fn packing_matches_the_per_coordinate_encoding_bit_for_bit(
+        contributions in prop::collection::vec(
+            prop::collection::vec(-80.0f64..80.0, 5),
+            1..6,
+        ),
+    ) {
+        // The packed decode must replicate FixedPointEncoder::decode's f64s
+        // exactly — same rounding, same magnitude conversion, same division.
+        let kp = keypair();
+        let enc = FixedPointEncoder::new(3);
+        let budget = LaneBudget {
+            contributors: 8,
+            doubling_budget: 4,
+            max_abs_value: 100.0,
+            biased_vectors: 1,
+        };
+        let packer =
+            PackedEncoder::plan(kp.public.packing_capacity_bits(), &enc, &budget).unwrap();
+        let dims = contributions[0].len();
+        // Plain (unencrypted) accumulation on both paths: the homomorphic
+        // layer is exercised by the sibling test, the bit-equality question
+        // is purely arithmetic.
+        let mut legacy = vec![BigUint::from(0u32); dims];
+        for c in &contributions {
+            for (acc, &v) in legacy.iter_mut().zip(c.iter()) {
+                *acc = (&*acc + enc.encode(v, &kp.public)) % kp.public.plaintext_modulus();
+            }
+        }
+        let legacy_decoded: Vec<f64> =
+            legacy.iter().map(|p| enc.decode(p, &kp.public)).collect();
+
+        let mut packed = packer.pack(&contributions[0]);
+        for c in &contributions[1..] {
+            for (acc, p) in packed.iter_mut().zip(packer.pack(c).iter()) {
+                *acc = &*acc + p;
+            }
+        }
+        let packed_decoded =
+            packer.unpack(&packed, dims, &BigUint::from(contributions.len()), 1);
+        prop_assert_eq!(packed_decoded, legacy_decoded);
+    }
+
+    #[test]
+    fn packing_rejects_overflowing_budgets_at_validation(
+        doubling_budget in 150u32..4_000,
+    ) {
+        // A budget whose single lane cannot fit the 160-bit key's plaintext
+        // space must be rejected by plan(), never silently truncated.
+        let kp = keypair();
+        let enc = FixedPointEncoder::new(3);
+        let budget = LaneBudget {
+            contributors: 1_000,
+            doubling_budget,
+            max_abs_value: 1.0e6,
+            biased_vectors: 2,
+        };
+        let result = PackedEncoder::plan(kp.public.packing_capacity_bits(), &enc, &budget);
+        prop_assert!(matches!(result, Err(PackingError::LaneOverflow { .. })));
     }
 }

@@ -27,6 +27,14 @@ pub trait EpidemicValue: Clone {
 
     /// Adds `other` into `self` (dimension-wise for vectors).
     fn add_assign(&mut self, other: &Self);
+
+    /// Number of wire payload units (ciphertexts, for the encrypted vectors
+    /// of the real protocol) one copy of this value occupies in a gossip
+    /// message.  Lane-packed vectors report their *packed* ciphertext
+    /// count, so bandwidth accounting reflects the packing factor.
+    fn payload_units(&self) -> usize {
+        1
+    }
 }
 
 /// A plaintext vector of f64s: the mirror implementation used to validate
@@ -48,6 +56,10 @@ impl EpidemicValue for PlainVector {
         for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
             *a += b;
         }
+    }
+
+    fn payload_units(&self) -> usize {
+        self.0.len()
     }
 }
 
@@ -224,6 +236,39 @@ mod tests {
                 }
                 (None, None) => {}
                 other => panic!("weight spread differs between the two rules: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_counter_growth_stays_within_the_packing_budget() {
+        // The lane-packed encoding sizes its lanes for a worst-case
+        // epidemic doubling allowance of 8·rounds + 32 (see
+        // `chiaroscuro_core`'s runner).  The exchange counter grows faster
+        // than the naive "2 per round" guess — within one round, sequential
+        // exchanges cascade the max counter by ~5-6 (weakly increasing with
+        // the population) — but it must stay comfortably inside that
+        // budget, or packed runs would trip their decode-time guard.
+        for &pop in &[16usize, 100, 1_000] {
+            for &rounds in &[8u32, 12, 48] {
+                for seed in 0..3u64 {
+                    // Churn only removes exchanges from a round, so the
+                    // no-churn case dominates — but the packed runner
+                    // allows churn, so pin the law there too.
+                    for churn in [ChurnModel::NONE, ChurnModel::new(0.25), ChurnModel::new(0.5)] {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let states =
+                        initial_states((0..pop).map(|i| PlainVector(vec![i as f64])).collect());
+                    let mut engine = GossipEngine::new(states, churn);
+                    engine.run_rounds(&EesSumProtocol, rounds, &mut rng);
+                    let max_n = engine.nodes().iter().map(|n| n.exchanges).max().unwrap();
+                    assert!(
+                        max_n <= 8 * rounds + 32,
+                        "pop {pop}, {rounds} rounds, seed {seed}: max exchange counter \
+                         {max_n} breaches the packing doubling budget"
+                    );
+                    }
+                }
             }
         }
     }

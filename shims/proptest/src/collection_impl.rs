@@ -5,7 +5,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: a fixed size or a size range.
+/// A length specification for [`vec()`]: a fixed size or a size range.
 pub trait IntoSizeRange {
     /// Draws a concrete length.
     fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -29,7 +29,7 @@ impl IntoSizeRange for std::ops::RangeInclusive<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

@@ -62,6 +62,14 @@ pub struct ScenarioSpec {
     /// Any value must produce bit-identical outcomes — the matrix asserts
     /// serial-vs-parallel equality explicitly.
     pub pool_threads: usize,
+    /// Gossip exchanges per epidemic sum (14 suits the default scenarios;
+    /// the lane-packing scenarios use 8 so the 256-bit test keys fit more
+    /// than one lane under the epidemic doubling allowance).
+    pub exchanges: u32,
+    /// Lane-packed plaintext encoding for the distributed run.  Must be
+    /// bit-identical to the legacy path — the matrix asserts packed-vs-
+    /// legacy equality explicitly.
+    pub lane_packing: bool,
 }
 
 /// The two execution paths of one scenario, run from the same seed.
@@ -120,9 +128,10 @@ impl ScenarioSpec {
             .key_bits(256)
             .key_share_threshold(3)
             .num_noise_shares(self.population)
-            .exchanges(14)
+            .exchanges(self.exchanges)
             .churn(self.churn)
             .pool_threads(self.pool_threads)
+            .lane_packing(self.lane_packing)
             .build()
     }
 

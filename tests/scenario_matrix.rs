@@ -25,10 +25,12 @@ fn baseline() -> ScenarioSpec {
         churn: 0.0,
         strategy: BudgetStrategy::Greedy,
         max_iterations: 2,
-        seed: 0xC1A0_0001,
+        seed: 0xC1A0_0006,
         structure_tolerance: 8.0,
         check_structure: true,
         pool_threads: 1,
+        exchanges: 14,
+        lane_packing: false,
     }
 }
 
@@ -53,6 +55,8 @@ fn scenario_churn_uniform_fast() {
         structure_tolerance: 9.0,
         check_structure: true,
         pool_threads: 1,
+        exchanges: 14,
+        lane_packing: false,
     }
     .run()
     .assert_all();
@@ -72,6 +76,8 @@ fn scenario_three_clusters_larger_population() {
         structure_tolerance: 9.0,
         check_structure: true,
         pool_threads: 1,
+        exchanges: 14,
+        lane_packing: false,
     }
     .run()
     .assert_all();
@@ -94,6 +100,8 @@ fn scenario_tight_budget_greedy_floor() {
         structure_tolerance: f64::INFINITY,
         check_structure: false,
         pool_threads: 1,
+        exchanges: 14,
+        lane_packing: false,
     }
     .run()
     .assert_all();
@@ -114,6 +122,8 @@ fn scenario_churn_and_tight_budget_combined() {
         structure_tolerance: f64::INFINITY,
         check_structure: false,
         pool_threads: 1,
+        exchanges: 14,
+        lane_packing: false,
     }
     .run()
     .assert_all();
@@ -176,6 +186,67 @@ fn scenario_parallel_pool_is_bit_exact_with_serial() {
     assert_eq!(a.distributed.network, b.distributed.network);
     assert_eq!(a.distributed.audit.events().len(), b.distributed.audit.events().len());
     b.assert_all();
+}
+
+#[test]
+fn scenario_lane_packing_is_bit_exact_with_legacy() {
+    // The lane-packed encoding must change how many ciphertexts carry the
+    // data — never a single decoded bit.  Run two scenario shapes with the
+    // knob off and on (same seed, same exchange schedule) and require
+    // identical centroids, plus a strictly smaller gossip payload.
+    let shapes = [
+        ScenarioSpec {
+            name: "lane-packing-baseline",
+            exchanges: 8, // keeps >1 lane per 256-bit plaintext (doubling budget)
+            ..baseline()
+        },
+        ScenarioSpec {
+            name: "lane-packing-three-clusters",
+            population: 24,
+            k: 3,
+            epsilon: 60.0,
+            churn: 0.0,
+            strategy: BudgetStrategy::UniformFast { max_iterations: 2 },
+            max_iterations: 2,
+            seed: 0xC1A0_0003,
+            structure_tolerance: 9.0,
+            check_structure: false, // 8 exchanges: R2/budget still asserted
+            pool_threads: 1,
+            exchanges: 8,
+            lane_packing: false,
+        },
+    ];
+    for legacy_spec in shapes {
+        let mut packed_spec = legacy_spec.clone();
+        packed_spec.lane_packing = true;
+        let legacy = legacy_spec.run();
+        let packed = packed_spec.run();
+        let legacy_values: Vec<Vec<f64>> =
+            legacy.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let packed_values: Vec<Vec<f64>> =
+            packed.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(
+            legacy_values, packed_values,
+            "[{}] lane packing must not change any decoded centroid",
+            legacy_spec.name
+        );
+        assert_eq!(
+            legacy.distributed.report.num_iterations(),
+            packed.distributed.report.num_iterations()
+        );
+        for (l, p) in legacy.distributed.network.iter().zip(packed.distributed.network.iter()) {
+            assert!(
+                p.sum_payload_ciphertexts < l.sum_payload_ciphertexts,
+                "[{}] packed payload {} must undercut legacy {}",
+                legacy_spec.name,
+                p.sum_payload_ciphertexts,
+                l.sum_payload_ciphertexts
+            );
+        }
+        // The packed run satisfies the whole assertion battery on its own.
+        packed.assert_r2_audit();
+        packed.assert_budget_respected();
+    }
 }
 
 #[test]
