@@ -15,8 +15,9 @@
 //!   fig4_latency [--part sum|decryption|iteration-model|all]
 //!                [--max-population 1000000] [--seed 1]
 //!                [--lanes 1] [--set-kb 130]
+//!                [--json-out PATH]   (machine-readable 4(a) rows)
 
-use chiaroscuro_bench::{Args, Table};
+use chiaroscuro_bench::{Args, Json, Table};
 use chiaroscuro_core::cost_model::{IterationCostModel, IterationMessageCounts, LocalCosts, SetShape};
 use chiaroscuro_crypto::wire::MeansWireModel;
 use chiaroscuro_gossip::churn::ChurnModel;
@@ -30,8 +31,9 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let args = Args::from_env();
     let part = args.get_str("part", "all");
+    let mut sum_rows = Vec::new();
     if part == "sum" || part == "all" {
-        sum_part(&args);
+        sum_rows = sum_part(&args);
     }
     if part == "decryption" || part == "all" {
         decryption_part(&args);
@@ -39,10 +41,25 @@ fn main() {
     if part == "iteration-model" || part == "all" {
         iteration_model_part(&args);
     }
+    // Machine-readable artifact (same row content as the 4(a) table), so
+    // the round-based latency figures accumulate alongside the async
+    // bench's BENCH_latency.json.
+    let json_out = args.get_str("json-out", "");
+    if !json_out.is_empty() {
+        assert!(
+            part == "sum" || part == "all",
+            "--json-out captures the 4(a) sum rows; run with --part sum or --part all \
+             (got --part {part}, which would write an empty artifact)"
+        );
+        let doc = Json::object().set("bench", "fig4_latency").set("sum", Json::Array(sum_rows));
+        std::fs::write(&json_out, doc.render()).expect("writing the bench artifact");
+        println!("\nwrote {json_out}");
+    }
 }
 
-/// Figure 4(a): epidemic sum + dissemination latency.
-fn sum_part(args: &Args) {
+/// Figure 4(a): epidemic sum + dissemination latency.  Returns one JSON row
+/// per population for the optional `--json-out` artifact.
+fn sum_part(args: &Args) -> Vec<Json> {
     let max_population = args.get("max-population", 100_000usize);
     let seed = args.get("seed", 1u64);
     let errors = [1e-3, 1e-2, 1e-1, 1.0];
@@ -51,6 +68,7 @@ fn sum_part(args: &Args) {
         "Fig 4(a) — messages per node for the epidemic sum (per target absolute error) and dissemination",
         &["population", "err 0.001", "err 0.01", "err 0.1", "err 1", "dissemination"],
     );
+    let mut rows = Vec::new();
     let mut population = 1_000usize;
     while population <= max_population {
         let mut cells = vec![population.to_string()];
@@ -87,9 +105,22 @@ fn sum_part(args: &Args) {
         dis_engine.run_until(&DisseminationProtocol, 100, &mut rng, converged);
         cells.push(format!("{:.0}", dis_engine.metrics().messages_per_node(population)));
         table.row(&cells);
+        let targets: Vec<Json> = pending
+            .iter()
+            .map(|&(target, result)| {
+                Json::object().set("abs_error", target).set("messages_per_node", result)
+            })
+            .collect();
+        rows.push(
+            Json::object()
+                .set("population", population)
+                .set("targets", targets)
+                .set("dissemination_messages_per_node", dis_engine.metrics().messages_per_node(population)),
+        );
         population *= 10;
     }
     table.print();
+    rows
 }
 
 /// Figure 4(b): epidemic decryption latency vs key-share threshold.

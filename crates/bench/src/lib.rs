@@ -14,8 +14,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod args;
+pub mod json;
 pub mod table;
 pub mod workloads;
 
 pub use args::Args;
+pub use json::Json;
 pub use table::Table;

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use chiaroscuro_dp::accountant::ProbabilisticDpParams;
 use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
+use chiaroscuro_gossip::sim::NetworkModel;
 use chiaroscuro_kmeans::perturbed::Smoothing;
 
 /// All parameters of a Chiaroscuro run (the building blocks' initialisation
@@ -64,6 +65,18 @@ pub struct ChiaroscuroParams {
     pub gossip_error_bound: f64,
     /// Per-exchange disconnection probability (churn).
     pub churn: f64,
+    /// How gossip messages are delivered: `Rounds` (the default) keeps the
+    /// synchronous round engine — the dispatcher consumes exactly the same
+    /// RNG draws as driving `GossipEngine` directly, so round-based
+    /// schedules are unchanged by this knob — while `Async` routes every
+    /// gossip phase through
+    /// the deterministic event-driven simulator
+    /// (`chiaroscuro_gossip::sim`): per-edge latency distributions,
+    /// message loss and crash/rejoin schedules, with wall-clock latency
+    /// metrics surfaced in the iteration's network stats.  One gossip
+    /// exchange of budget corresponds to one exchange period of simulated
+    /// time, so `exchanges` keeps its meaning under both models.
+    pub network: NetworkModel,
 
     // --- execution ---
     /// Worker threads for the crypto hot path (per-participant encryption
@@ -149,6 +162,7 @@ impl ChiaroscuroParams {
         assert!(self.view_size >= 1);
         assert!((0.0..1.0).contains(&self.churn));
         assert!(self.gossip_error_bound >= 0.0 && self.gossip_error_bound < 1.0);
+        self.network.validate();
         if let Some(n) = self.exchanges_override {
             // Overrides pass through to the runner verbatim (no clamping),
             // so zero would silently skip aggregation altogether.
@@ -204,6 +218,7 @@ impl Default for ChiaroscuroParamsBuilder {
                 exchanges_override: None,
                 gossip_error_bound: 1e-3,
                 churn: 0.0,
+                network: NetworkModel::Rounds,
                 pool_threads: 1,
             },
         }
@@ -280,6 +295,13 @@ impl ChiaroscuroParamsBuilder {
     /// Sets the local-view size Λ.
     pub fn view_size(mut self, view_size: usize) -> Self {
         self.params.view_size = view_size;
+        self
+    }
+
+    /// Selects the gossip delivery model (round-based by default; see
+    /// [`ChiaroscuroParams::network`]).
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.params.network = network;
         self
     }
 
@@ -474,6 +496,30 @@ mod tests {
         let mut dj2 = p.clone();
         dj2.damgard_jurik_s = 2;
         assert_eq!(dj2.packing_capacity_bits(), 508);
+    }
+
+    #[test]
+    fn network_model_knob_round_trips() {
+        use chiaroscuro_gossip::sim::{AsyncNetworkConfig, LatencyModel};
+        assert_eq!(
+            ChiaroscuroParams::builder().build().network,
+            NetworkModel::Rounds,
+            "round-based delivery by default"
+        );
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::LogNormal { median: 0.2, sigma: 0.5 })
+            .with_loss(0.05);
+        let p = ChiaroscuroParams::builder().network(NetworkModel::Async(config.clone())).build();
+        assert_eq!(p.network, NetworkModel::Async(config));
+        assert!(p.network.is_async());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_async_network_rejected_at_build() {
+        use chiaroscuro_gossip::sim::AsyncNetworkConfig;
+        let config = AsyncNetworkConfig::default().with_loss(1.0);
+        ChiaroscuroParams::builder().network(NetworkModel::Async(config)).build();
     }
 
     #[test]

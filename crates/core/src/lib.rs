@@ -48,5 +48,8 @@ pub mod prelude {
     pub use crate::runner::{DistributedRun, RunOutcome};
     pub use crate::surrogate::QualitySurrogate;
     pub use chiaroscuro_dp::budget::BudgetStrategy;
+    pub use chiaroscuro_gossip::sim::{
+        AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel, NetworkModel,
+    };
     pub use chiaroscuro_kmeans::perturbed::Smoothing;
 }

@@ -28,6 +28,19 @@
 //! noise-independent cleartext, so the security argument (Lemma 3) is
 //! unchanged; only the ordering differs.
 //!
+//! # Network models
+//!
+//! Every gossip phase (EESum means/noise sum, cleartext counter, correction
+//! dissemination) dispatches on [`ChiaroscuroParams::network`]: the
+//! round-based engine (the default — the dispatcher consumes exactly the
+//! RNG draws the engine would directly, so the knob never moves a
+//! round-based schedule) or the deterministic event-driven asynchronous simulator
+//! (`chiaroscuro_gossip::sim`) with per-edge latency, message loss and
+//! crash/rejoin schedules.  Asynchronous iterations additionally report
+//! wall-clock latency in [`IterationNetworkStats::gossip_sim_time`] and
+//! [`IterationNetworkStats::peak_messages_in_flight`]; either way the run
+//! stays a pure function of the seed.
+//!
 //! # Parallel execution
 //!
 //! The two crypto hot spots — the per-participant Diptych/noise encryption
@@ -71,7 +84,7 @@ use chiaroscuro_gossip::eesum::EpidemicValue;
 use chiaroscuro_gossip::churn::ChurnModel;
 use chiaroscuro_gossip::dissemination::{converged, winning_state, DisseminationProtocol, MinIdState};
 use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesSumProtocol};
-use chiaroscuro_gossip::engine::GossipEngine;
+use chiaroscuro_gossip::sim::{run_phase, run_phase_until};
 use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
 use chiaroscuro_kmeans::report::{IterationReport, RunReport};
 use chiaroscuro_timeseries::inertia::{dataset_inertia, intra_inertia, Assignment};
@@ -112,6 +125,14 @@ pub struct IterationNetworkStats {
     /// lane packing divides the data part by the lane count and adds one
     /// counter ciphertext, so this is where the bandwidth saving shows.
     pub sum_payload_ciphertexts: usize,
+    /// Simulated wall-clock time consumed by this iteration's gossip phases
+    /// (epidemic sums + counter + dissemination) under the asynchronous
+    /// network model, in exchange periods.  `0.0` under the round-based
+    /// model, which has no clock.
+    pub gossip_sim_time: f64,
+    /// Peak number of gossip requests simultaneously in transit across the
+    /// asynchronous phases (`0` under the round-based model).
+    pub peak_messages_in_flight: usize,
 }
 
 /// The outcome of a distributed Chiaroscuro run.
@@ -416,11 +437,27 @@ impl<'a> DistributedRun<'a> {
             let pre_inertia = intra_inertia(data, &exact_means, &assignment);
 
             // --- Computation step (a): epidemic encrypted sums + counter. ---
-            let mut sum_engine = GossipEngine::new(eesum_initial_states(contribution_vectors), churn);
-            sum_engine.run_rounds(&EesSumProtocol, exchanges, rng);
+            // Both phases dispatch on `params.network`: the round engine
+            // (same RNG draws as driving it directly) or the event-driven
+            // asynchronous engine, whose wall-clock latency shows up in
+            // this iteration's stats.
+            let sum_phase = run_phase(
+                &params.network,
+                eesum_initial_states(contribution_vectors),
+                churn,
+                &EesSumProtocol,
+                exchanges,
+                rng,
+            );
             let counter_values = vec![1.0; population];
-            let mut counter_engine = GossipEngine::new(sum_initial_states(&counter_values), churn);
-            counter_engine.run_rounds(&PushPullSum, exchanges, rng);
+            let counter_phase = run_phase(
+                &params.network,
+                sum_initial_states(&counter_values),
+                churn,
+                &PushPullSum,
+                exchanges,
+                rng,
+            );
             audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
 
             // Reference participant: the single node that reads out the
@@ -428,14 +465,14 @@ impl<'a> DistributedRun<'a> {
             // from the same device — mixing two nodes' views can pair a
             // counter that saw the weight with sums that did not (or vice
             // versa) and mis-size the surplus correction.
-            let reference = sum_engine
-                .nodes()
+            let reference = sum_phase
+                .nodes
                 .iter()
-                .zip(counter_engine.nodes())
+                .zip(&counter_phase.nodes)
                 .position(|(sum, counter)| sum.weight > 0.0 && counter.estimate().is_some())
                 .expect("after the epidemic sums at least one node holds both weights");
-            let reference_state = &sum_engine.nodes()[reference];
-            let counter_estimate = counter_engine.nodes()[reference]
+            let reference_state = &sum_phase.nodes[reference];
+            let counter_estimate = counter_phase.nodes[reference]
                 .estimate()
                 .expect("reference node was selected for holding a counter estimate");
 
@@ -462,16 +499,23 @@ impl<'a> DistributedRun<'a> {
                     MinIdState::new(correction.id, correction)
                 })
                 .collect();
-            let mut dissemination_engine = GossipEngine::new(correction_states, churn);
-            let dissemination_converged =
-                dissemination_engine.run_until(&DisseminationProtocol, exchanges, rng, converged);
+            let dissemination_phase = run_phase_until(
+                &params.network,
+                correction_states,
+                churn,
+                &DisseminationProtocol,
+                exchanges,
+                rng,
+                converged,
+            );
+            let dissemination_converged = dissemination_phase.converged;
             audit.record(iteration, "noise correction proposal", DataClass::DataIndependent);
             // The agreed-upon correction is the proposal with the globally
             // smallest identifier — the value dissemination converges to —
             // not whatever node 0 happens to hold (under churn an
             // unconverged node 0 may still carry a losing proposal).
             let winning_correction = {
-                let states = dissemination_engine.nodes();
+                let states = &dissemination_phase.nodes;
                 let winner = winning_state(states);
                 assert!(
                     states.iter().filter(|s| s.id == winner.id).all(|s| s.payload == winner.payload),
@@ -563,13 +607,20 @@ impl<'a> DistributedRun<'a> {
             });
             network.push(IterationNetworkStats {
                 iteration,
-                sum_messages_per_node: sum_engine.metrics().messages_per_node(population)
-                    + counter_engine.metrics().messages_per_node(population),
-                dissemination_messages_per_node: dissemination_engine.metrics().messages_per_node(population),
-                sum_rounds: sum_engine.metrics().rounds(),
+                sum_messages_per_node: sum_phase.metrics.messages_per_node(population)
+                    + counter_phase.metrics.messages_per_node(population),
+                dissemination_messages_per_node: dissemination_phase.metrics.messages_per_node(population),
+                sum_rounds: sum_phase.metrics.rounds(),
                 dissemination_converged,
                 noise_share_deficit,
                 sum_payload_ciphertexts,
+                gossip_sim_time: sum_phase.sim_time
+                    + counter_phase.sim_time
+                    + dissemination_phase.sim_time,
+                peak_messages_in_flight: sum_phase
+                    .peak_in_flight
+                    .max(counter_phase.peak_in_flight)
+                    .max(dissemination_phase.peak_in_flight),
             });
 
             // --- Convergence step. ---
@@ -725,6 +776,56 @@ mod tests {
         params.exchanges_override = Some(6);
         let outcome = DistributedRun::new(params, &data).execute(5);
         assert_eq!(outcome.network[0].sum_rounds, 6, "the explicit override must be honored");
+    }
+
+    #[test]
+    fn round_based_runs_report_no_wall_clock() {
+        // The default network model has no clock: the new latency fields
+        // must stay at zero so legacy consumers see unchanged semantics.
+        let data = tiny_dataset(12);
+        let outcome = DistributedRun::new(tiny_params(2, 1), &data).execute(17);
+        for stats in &outcome.network {
+            assert_eq!(stats.gossip_sim_time, 0.0);
+            assert_eq!(stats.peak_messages_in_flight, 0);
+        }
+    }
+
+    #[test]
+    fn async_network_run_is_deterministic_and_reports_latency() {
+        use chiaroscuro_gossip::sim::{AsyncNetworkConfig, LatencyModel, NetworkModel};
+        // The asynchronous model must (a) complete the full pipeline under
+        // latency + loss, (b) be bit-reproducible from the seed, and (c)
+        // surface wall-clock latency stats the round engine cannot produce.
+        let data = tiny_dataset(16);
+        let make_params = || {
+            let mut params = tiny_params(2, 2);
+            params.network = NetworkModel::Async(
+                AsyncNetworkConfig::default()
+                    .with_latency(LatencyModel::LogNormal { median: 0.3, sigma: 0.5 })
+                    .with_loss(0.05),
+            );
+            params
+        };
+        let a = DistributedRun::new(make_params(), &data)
+            .with_initial_centroids(vec![TimeSeries::constant(4, 20.0), TimeSeries::constant(4, 60.0)])
+            .execute(43);
+        let b = DistributedRun::new(make_params(), &data)
+            .with_initial_centroids(vec![TimeSeries::constant(4, 20.0), TimeSeries::constant(4, 60.0)])
+            .execute(43);
+        let a_values: Vec<Vec<f64>> = a.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let b_values: Vec<Vec<f64>> = b.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(a_values, b_values, "async runs must be bit-reproducible from the seed");
+        assert_eq!(a.network, b.network);
+        for stats in &a.network {
+            assert!(stats.gossip_sim_time > 0.0, "async phases consume simulated time");
+            assert!(stats.peak_messages_in_flight > 0, "requests must have been in flight");
+            assert!(stats.sum_messages_per_node > 0.0);
+        }
+        // The clustering still recovers the two well-separated profiles.
+        let mut means: Vec<f64> = a.centroids().iter().map(|c| c.mean()).collect();
+        means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((means[0] - 10.0).abs() < 8.0, "low centroid at {}", means[0]);
+        assert!((means[1] - 70.0).abs() < 8.0, "high centroid at {}", means[1]);
     }
 
     #[test]

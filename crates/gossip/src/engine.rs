@@ -97,22 +97,33 @@ impl<N> GossipEngine<N> {
     {
         let population = self.nodes.len();
         assert_eq!(online.len(), population, "one mask entry per node");
+        // Precompute the online index set once per round: contact selection
+        // is then a single unbiased uniform draw per initiator.  The old
+        // bounded rejection loop (8 uniform draws over the whole population)
+        // could miss every online peer under heavy churn — silently dropping
+        // exchanges that §6.1.5 says should happen — and consumed a variable
+        // number of RNG draws per initiator.
+        let online_indices: Vec<usize> = (0..population).filter(|&i| online[i]).collect();
+        if online_indices.len() < 2 {
+            // Nobody (or a lone node) online: no exchange is possible.
+            self.metrics.record_round();
+            return;
+        }
         let mut order: Vec<usize> = (0..population).collect();
         order.shuffle(rng);
         for initiator in order {
             if !online[initiator] {
                 continue;
             }
-            // Pick a distinct online contact (bounded retries under churn).
-            let mut contact = None;
-            for _ in 0..8 {
-                let candidate = rng.gen_range(0..population);
-                if candidate != initiator && online[candidate] {
-                    contact = Some(candidate);
-                    break;
-                }
+            // Uniform draw over the online set minus the initiator: draw
+            // from the first |online|−1 slots and remap a hit on the
+            // initiator to the excluded last slot, so every online peer has
+            // probability exactly 1/(|online|−1).
+            let draw = rng.gen_range(0..online_indices.len() - 1);
+            let mut contact = online_indices[draw];
+            if contact == initiator {
+                contact = *online_indices.last().expect("at least two online nodes");
             }
-            let Some(contact) = contact else { continue };
             let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
             protocol.exchange(a, b);
             self.metrics.record_exchange();
@@ -306,6 +317,67 @@ mod tests {
             assert!(mask[a as usize], "offline node {a} initiated or received an exchange");
             assert!(mask[b as usize], "offline node {b} initiated or received an exchange");
         }
+    }
+
+    #[test]
+    fn sparse_online_sets_never_lose_exchanges() {
+        // Regression for the bounded retry loop: with only 2 of 1000 nodes
+        // online, 8 uniform draws over the whole population almost never hit
+        // the single eligible contact, so rounds silently lost exchanges.
+        // One uniform draw over the online-index set always succeeds.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut engine = GossipEngine::new(vec![0u64; 1_000], ChurnModel::NONE);
+        let mut mask = vec![false; 1_000];
+        mask[0] = true;
+        mask[999] = true;
+        for _ in 0..10 {
+            engine.run_round_with_mask(&MaxProtocol, &mask, &mut rng);
+        }
+        // Every online initiator completes its exchange, every round.
+        assert_eq!(engine.metrics().exchanges(), 2 * 10);
+    }
+
+    #[test]
+    fn contact_sampling_is_uniform_over_the_online_set() {
+        // Each online peer (minus the initiator) must be picked with equal
+        // probability — the swap-remap draw must not favour the last slot.
+        let mut rng = StdRng::seed_from_u64(6);
+        let nodes: Vec<u64> = (0..10).collect();
+        let mut engine = GossipEngine::new(nodes, ChurnModel::NONE);
+        // Only even nodes online; record who exchanges with whom.
+        let mask: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let mut contact_counts = [0u64; 10];
+        let rounds = 20_000;
+        for _ in 0..rounds {
+            let protocol = RecordingProtocol(std::cell::RefCell::new(Vec::new()));
+            engine.run_round_with_mask(&protocol, &mask, &mut rng);
+            for (a, b) in protocol.0.into_inner() {
+                contact_counts[a as usize] += 1;
+                contact_counts[b as usize] += 1;
+            }
+        }
+        // 5 online nodes; each participates once as initiator and on
+        // average once as contact per round: expected = 2 * rounds.
+        for (i, &count) in contact_counts.iter().enumerate() {
+            if i % 2 == 0 {
+                let expected = 2 * rounds as u64;
+                let deviation = (count as i64 - expected as i64).abs() as f64 / expected as f64;
+                assert!(deviation < 0.05, "node {i} count {count} vs expected {expected}");
+            } else {
+                assert_eq!(count, 0, "offline node {i} must never appear");
+            }
+        }
+    }
+
+    #[test]
+    fn lone_online_node_cannot_exchange() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut engine = GossipEngine::new(vec![0u64; 50], ChurnModel::NONE);
+        let mut mask = vec![false; 50];
+        mask[13] = true;
+        engine.run_round_with_mask(&MaxProtocol, &mask, &mut rng);
+        assert_eq!(engine.metrics().exchanges(), 0);
+        assert_eq!(engine.metrics().rounds(), 1, "the empty round is still counted");
     }
 
     #[test]

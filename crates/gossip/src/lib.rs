@@ -20,7 +20,10 @@
 //! * [`decryption`] — the epidemic threshold-decryption protocol of §4.2.3
 //!   at message-count granularity (Figure 4(b));
 //! * [`churn`] — the uniform-disconnection churn model of §6.1.5;
-//! * [`metrics`] — message counts and error summaries.
+//! * [`metrics`] — message counts and error summaries;
+//! * [`sim`] — the deterministic event-driven *asynchronous* engine
+//!   (per-edge latency, message loss, crash/rejoin schedules) behind the
+//!   [`sim::NetworkModel`] knob, with wall-clock latency metrics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +35,7 @@ pub mod eesum;
 pub mod engine;
 pub mod metrics;
 pub mod newscast;
+pub mod sim;
 pub mod sum;
 pub mod view;
 
@@ -39,6 +43,7 @@ pub use churn::ChurnModel;
 pub use eesum::{EpidemicValue, EesState};
 pub use engine::{GossipEngine, PairwiseProtocol};
 pub use metrics::ExchangeMetrics;
+pub use sim::{AsyncGossipEngine, AsyncNetworkConfig, LatencyModel, NetworkModel};
 
 /// Commonly used items.
 pub mod prelude {
@@ -48,6 +53,10 @@ pub mod prelude {
     pub use crate::eesum::{EesState, EesSumProtocol, EpidemicValue, PlainVector};
     pub use crate::engine::{GossipEngine, PairwiseProtocol};
     pub use crate::metrics::ExchangeMetrics;
+    pub use crate::sim::{
+        AsyncGossipEngine, AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel,
+        NetworkModel,
+    };
     pub use crate::sum::{PushPullSum, SumState};
     pub use crate::view::LocalView;
 }

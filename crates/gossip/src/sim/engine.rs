@@ -1,0 +1,434 @@
+//! The event-driven asynchronous gossip engine.
+//!
+//! Where [`GossipEngine`](crate::engine::GossipEngine) advances the whole
+//! population in lockstep rounds, this engine advances a simulated clock
+//! through a deterministic event queue: every node *initiates* one exchange
+//! per [`AsyncNetworkConfig::exchange_period`], the request travels for a
+//! sampled per-edge latency, may be lost, and the push-pull exchange is
+//! applied **atomically at delivery time** against both peers' then-current
+//! states.  The same [`PairwiseProtocol`] implementations run unchanged.
+//!
+//! # Fidelity notes
+//!
+//! * An initiator cannot know who is online, so it addresses *any* other
+//!   node uniformly; requests to offline nodes are lost in transit.  (The
+//!   round engine's omniscient online-set sampling is the synchronous
+//!   idealisation of the same overlay.)
+//! * A push-pull exchange is two messages.  Because [`PairwiseProtocol`] is
+//!   atomic, a lost *reply* voids the whole exchange rather than leaving it
+//!   half-applied; the request still counts as sent and the asymmetry is
+//!   visible in [`SimMetrics`].
+//! * [`ExchangeMetrics::messages`](crate::metrics::ExchangeMetrics::messages)
+//!   keeps its round-engine meaning (two per *completed* exchange);
+//!   [`SimMetrics`] additionally counts real traffic including losses.
+//!
+//! # Determinism
+//!
+//! The event heap is keyed by `(time, seq)` ([`EventQueue`]), every random
+//! choice draws from the caller's seeded RNG in event order, and the
+//! per-edge latency spread is a pure hash of `(edge, salt)` — so a run is a
+//! pure function of `(initial states, config, churn, seed)`.  The
+//! equivalence tests assert bit-reproducibility.
+
+use rand::Rng;
+
+use crate::churn::ChurnModel;
+use crate::engine::{pair_mut, PairwiseProtocol};
+use crate::metrics::ExchangeMetrics;
+use crate::sim::latency::LatencyModel;
+use crate::sim::metrics::{ConvergenceTimes, SimMetrics};
+use crate::sim::queue::EventQueue;
+use crate::sim::schedule::CrashSchedule;
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncNetworkConfig {
+    /// Per-message delay distribution.
+    pub latency: LatencyModel,
+    /// Probability that any single message (request or reply) is lost.
+    pub loss_probability: f64,
+    /// Time between two initiations of the same node (the asynchronous
+    /// analogue of one gossip round; `1.0` keeps horizons comparable to
+    /// round counts).
+    pub exchange_period: f64,
+    /// Heterogeneous-delay spread: edge `(i, j)` scales every latency
+    /// sample by a deterministic factor in `[1 − spread, 1 + spread]`
+    /// derived from a hash of the pair.  `0.0` = homogeneous network.
+    pub edge_spread: f64,
+    /// Salt of the per-edge factor hash (lets two runs disagree about which
+    /// edges are slow without touching the RNG stream).
+    pub edge_salt: u64,
+    /// When `true`, every node's first initiation fires at time 0 (and the
+    /// run consumes no start-jitter draws) — with zero latency this
+    /// reproduces the synchronous round structure.  When `false` (default),
+    /// first initiations are uniformly staggered across one period, as
+    /// unsynchronised real devices would be.
+    pub synchronized_start: bool,
+    /// Correlated downtime windows (crash/rejoin events).
+    pub crash: CrashSchedule,
+}
+
+impl Default for AsyncNetworkConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::ZERO,
+            loss_probability: 0.0,
+            exchange_period: 1.0,
+            edge_spread: 0.0,
+            edge_salt: 0x1A7E_ECED,
+            synchronized_start: false,
+            crash: CrashSchedule::NONE,
+        }
+    }
+}
+
+impl AsyncNetworkConfig {
+    /// Checks the configuration is usable.
+    ///
+    /// # Panics
+    /// Panics on an invalid latency model, a loss probability outside
+    /// `[0, 1)`, a non-positive exchange period, or an edge spread outside
+    /// `[0, 1)`.
+    pub fn validate(&self) {
+        self.latency.validate();
+        assert!(
+            (0.0..1.0).contains(&self.loss_probability),
+            "loss probability must be in [0, 1), got {}",
+            self.loss_probability
+        );
+        assert!(
+            self.exchange_period.is_finite() && self.exchange_period > 0.0,
+            "exchange period must be finite and > 0, got {}",
+            self.exchange_period
+        );
+        assert!(
+            (0.0..1.0).contains(&self.edge_spread),
+            "edge spread must be in [0, 1), got {}",
+            self.edge_spread
+        );
+    }
+
+    /// Replaces the latency model (builder-style convenience).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the loss probability.
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        self.loss_probability = loss_probability;
+        self
+    }
+
+    /// Replaces the crash/rejoin schedule.
+    pub fn with_crash(mut self, crash: CrashSchedule) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Replaces the heterogeneous-delay spread.
+    pub fn with_edge_spread(mut self, edge_spread: f64) -> Self {
+        self.edge_spread = edge_spread;
+        self
+    }
+
+    /// Switches to synchronized (round-like) initiation phases.
+    pub fn with_synchronized_start(mut self, synchronized_start: bool) -> Self {
+        self.synchronized_start = synchronized_start;
+        self
+    }
+}
+
+/// The events the engine schedules.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A node fires its periodic initiation.
+    Initiate { node: usize },
+    /// The request of `initiator` reaches `contact`; the push-pull exchange
+    /// applies here if both endpoints are up and the reply survives.
+    Deliver { initiator: usize, contact: usize },
+    /// A scheduled crash takes `node` offline.
+    Crash { node: usize },
+    /// A scheduled rejoin brings `node` back online (with whatever state it
+    /// had when it crashed).
+    Rejoin { node: usize },
+}
+
+/// The deterministic event-driven engine driving one [`PairwiseProtocol`]
+/// over a population of nodes.
+#[derive(Debug, Clone)]
+pub struct AsyncGossipEngine<N> {
+    nodes: Vec<N>,
+    online: Vec<bool>,
+    config: AsyncNetworkConfig,
+    churn: ChurnModel,
+    queue: EventQueue<EventKind>,
+    metrics: ExchangeMetrics,
+    sim: SimMetrics,
+    /// The simulated clock (the time of the last processed event, then the
+    /// run horizon once a run call finishes).
+    now: f64,
+    /// The horizon up to which the simulation has been driven.
+    horizon: f64,
+    /// Whole exchange periods already recorded as rounds in `metrics`.
+    periods_recorded: u64,
+    started: bool,
+}
+
+impl<N> AsyncGossipEngine<N> {
+    /// Creates an engine over the given per-node states.
+    ///
+    /// # Panics
+    /// Panics if fewer than two nodes are provided, the configuration is
+    /// invalid, or a crash window names a node outside the population.
+    pub fn new(nodes: Vec<N>, config: AsyncNetworkConfig, churn: ChurnModel) -> Self {
+        assert!(nodes.len() >= 2, "gossip needs at least two participants");
+        config.validate();
+        let population = nodes.len();
+        let mut queue = EventQueue::new();
+        for window in config.crash.windows() {
+            assert!(window.node < population, "crash window names node {} of {population}", window.node);
+            queue.push(window.crash_at, EventKind::Crash { node: window.node });
+            if window.rejoin_at.is_finite() {
+                queue.push(window.rejoin_at, EventKind::Rejoin { node: window.node });
+            }
+        }
+        Self {
+            online: vec![true; population],
+            nodes,
+            config,
+            churn,
+            queue,
+            metrics: ExchangeMetrics::default(),
+            sim: SimMetrics::default(),
+            now: 0.0,
+            horizon: 0.0,
+            periods_recorded: 0,
+            started: false,
+        }
+    }
+
+    /// The population size.
+    pub fn population(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to the node states.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Mutable access to the node states.
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Round/exchange accounting, comparable with the round engine's (one
+    /// round is recorded per completed exchange period).
+    pub fn metrics(&self) -> &ExchangeMetrics {
+        &self.metrics
+    }
+
+    /// Message-level traffic accounting (losses, in-flight load).
+    pub fn sim_metrics(&self) -> &SimMetrics {
+        &self.sim
+    }
+
+    /// The simulated clock (the horizon reached by the last run call).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether `node` is currently up according to the crash schedule.
+    pub fn is_online(&self, node: usize) -> bool {
+        self.online[node]
+    }
+
+    /// Consumes the engine, returning the node states and the accounting.
+    pub fn into_parts(self) -> (Vec<N>, ExchangeMetrics, SimMetrics) {
+        (self.nodes, self.metrics, self.sim)
+    }
+
+    /// The deterministic per-edge latency factor (pure hash of the pair).
+    fn edge_factor(&self, a: usize, b: usize) -> f64 {
+        let spread = self.config.edge_spread;
+        if spread == 0.0 {
+            return 1.0;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // SplitMix64 finalizer over (edge, salt).
+        let mut x = ((lo as u64) << 32 | hi as u64).wrapping_add(self.config.edge_salt);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        1.0 - spread + 2.0 * spread * unit
+    }
+
+    /// Schedules every node's first initiation (staggered or synchronized).
+    fn ensure_started<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let period = self.config.exchange_period;
+        for node in 0..self.nodes.len() {
+            let phase =
+                if self.config.synchronized_start { 0.0 } else { rng.gen::<f64>() * period };
+            self.queue.push(phase, EventKind::Initiate { node });
+        }
+    }
+
+    /// Records one round per exchange period fully elapsed by `time`.
+    fn record_periods_up_to(&mut self, time: f64) {
+        let period = self.config.exchange_period;
+        while (self.periods_recorded + 1) as f64 * period <= time + 1e-9 {
+            self.metrics.record_round();
+            self.periods_recorded += 1;
+        }
+    }
+}
+
+impl<N> AsyncGossipEngine<N> {
+    /// The event loop: processes events up to `target`; `on_exchange` sees
+    /// the population after every applied exchange (with the two touched
+    /// indices and the exchange time) and returns `true` to stop early.
+    /// Returns `true` if stopped early.
+    fn drive<P, R, F>(&mut self, protocol: &P, target: f64, rng: &mut R, mut on_exchange: F) -> bool
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+        F: FnMut(&[N], usize, usize, f64) -> bool,
+    {
+        self.ensure_started(rng);
+        let population = self.nodes.len();
+        let loss = self.config.loss_probability;
+        // The horizon is half-open: events at exactly `target` belong to
+        // the next run call (so a budget of R periods fires exactly R
+        // initiations per node, matching R rounds of the round engine).
+        while let Some(time) = self.queue.peek_time() {
+            if time >= target {
+                break;
+            }
+            let (time, kind) = self.queue.pop().expect("peeked event must pop");
+            self.now = time;
+            match kind {
+                EventKind::Crash { node } => self.online[node] = false,
+                EventKind::Rejoin { node } => self.online[node] = true,
+                EventKind::Initiate { node } => {
+                    // The next tick fires regardless — a crashed node's
+                    // clock keeps running, it just stays silent.
+                    self.queue.push(time + self.config.exchange_period, EventKind::Initiate { node });
+                    if !self.online[node] || !self.churn.is_online(rng) {
+                        continue;
+                    }
+                    // Uniform contact over everyone but the initiator (the
+                    // initiator cannot observe who is up).
+                    let draw = rng.gen_range(0..population - 1);
+                    let contact = if draw >= node { draw + 1 } else { draw };
+                    self.sim.record_sent();
+                    if loss > 0.0 && rng.gen_bool(loss) {
+                        self.sim.record_lost();
+                        continue;
+                    }
+                    let delay = self.config.latency.sample(rng) * self.edge_factor(node, contact);
+                    self.sim.depart(time);
+                    self.queue.push(time + delay, EventKind::Deliver { initiator: node, contact });
+                }
+                EventKind::Deliver { initiator, contact } => {
+                    self.sim.arrive(time);
+                    // The contact must be up (schedule) and connected
+                    // (churn) to process the request at all.
+                    if !self.online[contact] || !self.churn.is_online(rng) {
+                        self.sim.record_lost();
+                        continue;
+                    }
+                    // The reply: lost if the initiator crashed while the
+                    // request was in flight, or to the loss model.  Either
+                    // way the atomic exchange is voided (see module docs).
+                    self.sim.record_sent();
+                    if !self.online[initiator] || (loss > 0.0 && rng.gen_bool(loss)) {
+                        self.sim.record_lost();
+                        continue;
+                    }
+                    let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
+                    protocol.exchange(a, b);
+                    self.metrics.record_exchange();
+                    if on_exchange(&self.nodes, initiator, contact, time) {
+                        self.record_periods_up_to(time);
+                        self.horizon = time;
+                        return true;
+                    }
+                }
+            }
+        }
+        self.now = target;
+        self.horizon = target;
+        self.sim.advance(target);
+        self.record_periods_up_to(target);
+        false
+    }
+
+    /// Advances the simulation by `duration` time units.
+    pub fn run_for<P, R>(&mut self, protocol: &P, duration: f64, rng: &mut R)
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
+        assert!(duration >= 0.0 && duration.is_finite());
+        let target = self.horizon + duration;
+        self.drive(protocol, target, rng, |_, _, _, _| false);
+    }
+
+    /// Advances the simulation until `done` holds over the node states or
+    /// `duration` time units have elapsed; returns whether the predicate
+    /// was satisfied (it is checked up front and after every exchange).
+    pub fn run_until<P, R, F>(&mut self, protocol: &P, duration: f64, rng: &mut R, mut done: F) -> bool
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+        F: FnMut(&[N]) -> bool,
+    {
+        assert!(duration >= 0.0 && duration.is_finite());
+        if done(&self.nodes) {
+            return true;
+        }
+        let target = self.horizon + duration;
+        if self.drive(protocol, target, rng, |nodes, _, _, _| done(nodes)) {
+            return true;
+        }
+        done(&self.nodes)
+    }
+
+    /// Advances the simulation by `duration` while tracking, per node, the
+    /// start of its final stretch of satisfying `node_done` — the wall-clock
+    /// convergence times behind the latency percentiles (§6.3).
+    pub fn run_tracked<P, R, F>(
+        &mut self,
+        protocol: &P,
+        duration: f64,
+        rng: &mut R,
+        node_done: F,
+    ) -> ConvergenceTimes
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+        F: Fn(&N) -> bool,
+    {
+        assert!(duration >= 0.0 && duration.is_finite());
+        let mut tracker = ConvergenceTimes::new(self.nodes.len());
+        let start = self.horizon;
+        for (i, node) in self.nodes.iter().enumerate() {
+            tracker.observe(i, start, node_done(node));
+        }
+        let target = start + duration;
+        self.drive(protocol, target, rng, |nodes, initiator, contact, time| {
+            tracker.observe(initiator, time, node_done(&nodes[initiator]));
+            tracker.observe(contact, time, node_done(&nodes[contact]));
+            false
+        });
+        tracker
+    }
+}

@@ -1,0 +1,485 @@
+//! Deterministic discrete-event simulation of asynchronous gossip.
+//!
+//! The paper evaluates Chiaroscuro on PeerSim with asynchronous message
+//! delivery (§6.3); the round-based [`GossipEngine`](crate::engine) can
+//! only express lockstep rounds, so its latency figures are round counts.
+//! This module adds the missing axis: a seeded event-queue engine
+//! ([`AsyncGossipEngine`]) that drives the *same* [`PairwiseProtocol`]
+//! implementations under per-edge latency distributions
+//! ([`LatencyModel`]), message loss, and node crash/rejoin schedules
+//! ([`CrashSchedule`]) — with wall-clock latency metrics (per-node
+//! convergence-time percentiles, messages in flight) the round engine
+//! structurally cannot produce.
+//!
+//! [`NetworkModel`] is the run-level knob: `Rounds` keeps the synchronous
+//! engine (the dispatcher consumes exactly the same RNG draws as driving
+//! [`GossipEngine`] directly — asserted by a lockstep test), while
+//! `Async` routes every gossip phase through the event queue.
+//! [`run_phase`] / [`run_phase_until`] dispatch one protocol phase over
+//! either engine and return a uniform [`PhaseOutcome`], which is what the
+//! Chiaroscuro runner consumes.
+//!
+//! Determinism contract: a simulation is a pure function of
+//! `(initial states, config, churn, seed)`.  The event heap is totally
+//! ordered by `(time, seq)`, all randomness flows through the caller's
+//! seeded RNG in event order, and per-edge heterogeneity is a pure hash —
+//! asserted by the reproducibility tests here and in the scenario matrix.
+
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod queue;
+pub mod schedule;
+
+pub use engine::{AsyncGossipEngine, AsyncNetworkConfig};
+pub use latency::LatencyModel;
+pub use metrics::{ConvergenceTimes, SimMetrics};
+pub use queue::EventQueue;
+pub use schedule::{CrashSchedule, CrashWindow};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::churn::ChurnModel;
+use crate::engine::{GossipEngine, PairwiseProtocol};
+use crate::metrics::ExchangeMetrics;
+
+/// How gossip phases are simulated: the synchronous round engine (the
+/// PeerSim cycle-driven idealisation) or the event-driven asynchronous
+/// engine (message-level delivery).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum NetworkModel {
+    /// Lockstep rounds ([`GossipEngine`]); the default.  Selecting it
+    /// consumes exactly the same RNG draws as driving the round engine
+    /// directly, so this knob never moves a round-based schedule.
+    #[default]
+    Rounds,
+    /// Event-driven asynchronous delivery ([`AsyncGossipEngine`]) with the
+    /// given network characteristics.  One round of budget corresponds to
+    /// one [`AsyncNetworkConfig::exchange_period`] of simulated time.
+    Async(AsyncNetworkConfig),
+}
+
+impl NetworkModel {
+    /// Checks the model's parameters are usable.
+    ///
+    /// # Panics
+    /// Panics if the async configuration is invalid.
+    pub fn validate(&self) {
+        if let NetworkModel::Async(config) = self {
+            config.validate();
+        }
+    }
+
+    /// Whether gossip runs on the event-driven engine.
+    pub fn is_async(&self) -> bool {
+        matches!(self, NetworkModel::Async(_))
+    }
+}
+
+/// The uniform result of one gossip phase, whichever engine ran it.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome<N> {
+    /// The final node states.
+    pub nodes: Vec<N>,
+    /// Round/exchange accounting (async engines record one round per
+    /// elapsed exchange period, keeping message-per-node figures
+    /// comparable).
+    pub metrics: ExchangeMetrics,
+    /// Whether the phase's convergence predicate was satisfied (`true` for
+    /// phases run without a predicate).
+    pub converged: bool,
+    /// Simulated wall-clock time the phase consumed (`0.0` on the round
+    /// engine, which has no clock).
+    pub sim_time: f64,
+    /// Peak number of requests simultaneously in flight (`0` on the round
+    /// engine).
+    pub peak_in_flight: usize,
+    /// Messages actually put on the wire, including lost ones (`0` on the
+    /// round engine, which accounts messages as `2 × exchanges` in
+    /// `metrics` instead).
+    pub messages_sent: u64,
+    /// Messages dropped by loss, or by an offline endpoint (`0` on the
+    /// round engine).
+    pub messages_lost: u64,
+}
+
+/// Runs one gossip phase to its full budget: `budget_rounds` rounds on the
+/// round engine, or `budget_rounds × exchange_period` of simulated time on
+/// the async engine.
+pub fn run_phase<N, P, R>(
+    network: &NetworkModel,
+    nodes: Vec<N>,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+) -> PhaseOutcome<N>
+where
+    P: PairwiseProtocol<N>,
+    R: Rng + ?Sized,
+{
+    match network {
+        NetworkModel::Rounds => {
+            let mut engine = GossipEngine::new(nodes, churn);
+            engine.run_rounds(protocol, budget_rounds, rng);
+            let (nodes, metrics) = engine.into_parts();
+            PhaseOutcome {
+                nodes,
+                metrics,
+                converged: true,
+                sim_time: 0.0,
+                peak_in_flight: 0,
+                messages_sent: 0,
+                messages_lost: 0,
+            }
+        }
+        NetworkModel::Async(config) => {
+            let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
+            let horizon = f64::from(budget_rounds) * config.exchange_period;
+            engine.run_for(protocol, horizon, rng);
+            let sim_time = engine.now();
+            let (nodes, metrics, sim) = engine.into_parts();
+            PhaseOutcome {
+                nodes,
+                metrics,
+                converged: true,
+                sim_time,
+                peak_in_flight: sim.peak_in_flight,
+                messages_sent: sim.messages_sent,
+                messages_lost: sim.messages_lost,
+            }
+        }
+    }
+}
+
+/// Runs one gossip phase until `done` holds over the node states or the
+/// budget is exhausted (same budget semantics as [`run_phase`]);
+/// [`PhaseOutcome::converged`] reports which.
+pub fn run_phase_until<N, P, R, F>(
+    network: &NetworkModel,
+    nodes: Vec<N>,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+    done: F,
+) -> PhaseOutcome<N>
+where
+    P: PairwiseProtocol<N>,
+    R: Rng + ?Sized,
+    F: FnMut(&[N]) -> bool,
+{
+    match network {
+        NetworkModel::Rounds => {
+            let mut engine = GossipEngine::new(nodes, churn);
+            let converged = engine.run_until(protocol, budget_rounds, rng, done);
+            let (nodes, metrics) = engine.into_parts();
+            PhaseOutcome {
+                nodes,
+                metrics,
+                converged,
+                sim_time: 0.0,
+                peak_in_flight: 0,
+                messages_sent: 0,
+                messages_lost: 0,
+            }
+        }
+        NetworkModel::Async(config) => {
+            let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
+            let horizon = f64::from(budget_rounds) * config.exchange_period;
+            let converged = engine.run_until(protocol, horizon, rng, done);
+            let sim_time = engine.now();
+            let (nodes, metrics, sim) = engine.into_parts();
+            PhaseOutcome {
+                nodes,
+                metrics,
+                converged,
+                sim_time,
+                peak_in_flight: sim.peak_in_flight,
+                messages_sent: sim.messages_sent,
+                messages_lost: sim.messages_lost,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sum::{convergence_report, initial_states, PushPullSum, SumState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A toy protocol: both peers keep the max of their values.
+    struct MaxProtocol;
+
+    impl PairwiseProtocol<u64> for MaxProtocol {
+        fn exchange(&self, a: &mut u64, b: &mut u64) {
+            let m = (*a).max(*b);
+            *a = m;
+            *b = m;
+        }
+    }
+
+    fn sum_states(population: usize) -> Vec<SumState> {
+        let values: Vec<f64> = (0..population).map(|i| (i % 13) as f64).collect();
+        initial_states(&values)
+    }
+
+    fn exact_sum(population: usize) -> f64 {
+        (0..population).map(|i| (i % 13) as f64).sum()
+    }
+
+    #[test]
+    fn zero_latency_synchronized_async_matches_round_engine_quality() {
+        // The engine-equivalence satellite: with zero latency and
+        // synchronized (per-round barrier) initiations, the async engine
+        // reproduces the round engine's structure — every node initiates
+        // once per period, all deliveries apply before the next period —
+        // so convergence quality and exchange counts must match.
+        let population = 512;
+        let rounds = 30u32;
+        let mut round_rng = StdRng::seed_from_u64(41);
+        let mut round_engine = GossipEngine::new(sum_states(population), ChurnModel::NONE);
+        round_engine.run_rounds(&PushPullSum, rounds, &mut round_rng);
+        let round_report = convergence_report(round_engine.nodes(), exact_sum(population));
+
+        let mut async_rng = StdRng::seed_from_u64(41);
+        let config = AsyncNetworkConfig::default().with_synchronized_start(true);
+        let mut async_engine = AsyncGossipEngine::new(sum_states(population), config, ChurnModel::NONE);
+        async_engine.run_for(&PushPullSum, f64::from(rounds), &mut async_rng);
+        let async_report = convergence_report(async_engine.nodes(), exact_sum(population));
+
+        assert_eq!(
+            async_engine.metrics().exchanges(),
+            round_engine.metrics().exchanges(),
+            "one initiation per node per period, none lost"
+        );
+        assert_eq!(async_engine.metrics().rounds(), rounds);
+        assert_eq!(round_report.without_estimate, 0.0);
+        assert_eq!(async_report.without_estimate, 0.0);
+        assert!(round_report.max_relative_error < 1e-5, "round err {}", round_report.max_relative_error);
+        assert!(async_report.max_relative_error < 1e-5, "async err {}", async_report.max_relative_error);
+    }
+
+    #[test]
+    fn async_runs_are_bit_reproducible_from_the_same_seed() {
+        // Full-feature config: log-normal latency, loss, heterogeneous
+        // edges, staggered start, crash/rejoin.  Two runs from the same
+        // seed must agree on every state bit and every counter.
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::LogNormal { median: 0.4, sigma: 0.6 })
+            .with_loss(0.1)
+            .with_edge_spread(0.5)
+            .with_crash(CrashSchedule::new(vec![
+                CrashWindow { node: 3, crash_at: 2.0, rejoin_at: 9.0 },
+                CrashWindow { node: 11, crash_at: 0.5, rejoin_at: f64::INFINITY },
+            ]));
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(1234);
+            let mut engine =
+                AsyncGossipEngine::new(sum_states(64), config.clone(), ChurnModel::new(0.2));
+            engine.run_for(&PushPullSum, 25.0, &mut rng);
+            (engine.nodes().to_vec(), *engine.metrics(), *engine.sim_metrics())
+        };
+        let (nodes_a, metrics_a, sim_a) = run();
+        let (nodes_b, metrics_b, sim_b) = run();
+        assert_eq!(nodes_a, nodes_b, "same seed must reproduce identical states");
+        assert_eq!(metrics_a, metrics_b);
+        assert_eq!(sim_a, sim_b);
+        assert!(metrics_a.exchanges() > 0, "the lossy churny run must still exchange");
+
+        let mut other = StdRng::seed_from_u64(1235);
+        let mut engine = AsyncGossipEngine::new(sum_states(64), config, ChurnModel::new(0.2));
+        engine.run_for(&PushPullSum, 25.0, &mut other);
+        assert_ne!(engine.nodes(), &nodes_a[..], "a different seed must diverge");
+    }
+
+    #[test]
+    fn message_loss_voids_the_expected_fraction_of_exchanges() {
+        // Request and reply each survive with probability 1 − p, so the
+        // completed-exchange rate is (1 − p)² of initiations.
+        let loss = 0.3f64;
+        let config = AsyncNetworkConfig::default().with_loss(loss);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = AsyncGossipEngine::new(vec![0u64; 200], config, ChurnModel::NONE);
+        engine.run_for(&MaxProtocol, 50.0, &mut rng);
+        let initiations = 200.0 * 50.0;
+        let expected = initiations * (1.0 - loss) * (1.0 - loss);
+        let observed = engine.metrics().exchanges() as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.05,
+            "observed {observed} exchanges vs expected {expected}"
+        );
+        let sim = engine.sim_metrics();
+        assert!(sim.messages_lost > 0);
+        assert!(sim.messages_sent > sim.messages_lost);
+    }
+
+    #[test]
+    fn crashed_nodes_are_silent_until_rejoin_then_catch_up() {
+        // Node 5 is down for [0, 20): its state must be untouched while the
+        // rest converges, then catch up after rejoining.
+        let population = 32;
+        let config = AsyncNetworkConfig::default()
+            .with_crash(CrashSchedule::new(vec![CrashWindow {
+                node: 5,
+                crash_at: 0.0,
+                rejoin_at: 20.0,
+            }]));
+        let nodes: Vec<u64> = (0..population as u64).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = AsyncGossipEngine::new(nodes, config, ChurnModel::NONE);
+        engine.run_for(&MaxProtocol, 19.5, &mut rng);
+        assert!(!engine.is_online(5));
+        assert_eq!(engine.nodes()[5], 5, "a crashed node's state must not move");
+        assert!(
+            engine.nodes().iter().enumerate().filter(|&(i, _)| i != 5).all(|(_, &v)| v == 31),
+            "the rest of the population converges around the crash"
+        );
+        engine.run_for(&MaxProtocol, 10.0, &mut rng);
+        assert!(engine.is_online(5));
+        assert_eq!(engine.nodes()[5], 31, "the rejoined node must catch up");
+    }
+
+    #[test]
+    fn in_flight_peak_reflects_synchronized_bursts() {
+        // Synchronized start + constant latency of half a period: all N
+        // requests of a period are in flight at once.
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::Constant(0.5))
+            .with_synchronized_start(true);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut engine = AsyncGossipEngine::new(vec![0u64; 40], config, ChurnModel::NONE);
+        engine.run_for(&MaxProtocol, 10.0, &mut rng);
+        assert_eq!(engine.sim_metrics().peak_in_flight, 40);
+        assert!(engine.sim_metrics().mean_in_flight(10.0) > 10.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_first_satisfying_exchange() {
+        let config = AsyncNetworkConfig::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let nodes: Vec<u64> = (0..100).collect();
+        let mut engine = AsyncGossipEngine::new(nodes, config, ChurnModel::NONE);
+        let done =
+            engine.run_until(&MaxProtocol, 50.0, &mut rng, |nodes| nodes.iter().all(|&v| v == 99));
+        assert!(done, "the max must spread within 50 periods");
+        assert!(engine.now() < 20.0, "epidemic spreading is logarithmic, stop early");
+    }
+
+    #[test]
+    fn run_phase_round_path_is_byte_identical_to_direct_engine_use() {
+        // The runner routes every phase through run_phase; on the Rounds
+        // model the RNG stream and results must match driving GossipEngine
+        // directly, or threading the knob would move every pinned seed.
+        let mut direct_rng = StdRng::seed_from_u64(21);
+        let mut engine = GossipEngine::new(sum_states(48), ChurnModel::new(0.2));
+        engine.run_rounds(&PushPullSum, 12, &mut direct_rng);
+
+        let mut phase_rng = StdRng::seed_from_u64(21);
+        let outcome = run_phase(
+            &NetworkModel::Rounds,
+            sum_states(48),
+            ChurnModel::new(0.2),
+            &PushPullSum,
+            12,
+            &mut phase_rng,
+        );
+        assert_eq!(direct_rng, phase_rng, "run_phase must consume the exact same draws");
+        assert_eq!(outcome.nodes, engine.nodes());
+        assert_eq!(&outcome.metrics, engine.metrics());
+        assert_eq!(outcome.sim_time, 0.0);
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn run_phase_async_reports_wall_clock_latency() {
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::Uniform { min: 0.05, max: 0.3 });
+        let mut rng = StdRng::seed_from_u64(31);
+        let outcome = run_phase(
+            &NetworkModel::Async(config),
+            sum_states(48),
+            ChurnModel::NONE,
+            &PushPullSum,
+            16,
+            &mut rng,
+        );
+        assert_eq!(outcome.sim_time, 16.0);
+        assert_eq!(outcome.metrics.rounds(), 16);
+        assert!(outcome.peak_in_flight > 0);
+        assert!(outcome.messages_sent > 0);
+        // Deliveries lag by the sampled latency, so a handful of exchanges
+        // are still in flight at the horizon — the error bound is looser
+        // than a synchronous run of the same budget.
+        let report = convergence_report(&outcome.nodes, exact_sum(48));
+        assert!(report.max_relative_error < 1e-2, "err {}", report.max_relative_error);
+    }
+
+    #[test]
+    fn run_phase_until_dispatches_on_both_models() {
+        let done = |nodes: &[u64]| nodes.iter().all(|&v| v == 63);
+        let mut rng = StdRng::seed_from_u64(5);
+        let rounds = run_phase_until(
+            &NetworkModel::Rounds,
+            (0..64u64).collect(),
+            ChurnModel::NONE,
+            &MaxProtocol,
+            40,
+            &mut rng,
+            done,
+        );
+        assert!(rounds.converged);
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::LogNormal { median: 0.2, sigma: 0.5 });
+        let asynchronous = run_phase_until(
+            &NetworkModel::Async(config),
+            (0..64u64).collect(),
+            ChurnModel::NONE,
+            &MaxProtocol,
+            40,
+            &mut rng,
+            done,
+        );
+        assert!(asynchronous.converged);
+        assert!(asynchronous.sim_time > 0.0 && asynchronous.sim_time < 40.0);
+    }
+
+    #[test]
+    fn heterogeneous_edges_scale_latency_deterministically() {
+        // edge_spread stretches per-edge delays; the factor is a pure hash,
+        // so two engines with the same salt agree and a different salt
+        // reshuffles which edges are slow without touching the RNG stream.
+        let base = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::Constant(0.2))
+            .with_edge_spread(0.9);
+        let run = |salt: u64| {
+            let mut config = base.clone();
+            config.edge_salt = salt;
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut engine = AsyncGossipEngine::new(sum_states(32), config, ChurnModel::NONE);
+            engine.run_for(&PushPullSum, 15.0, &mut rng);
+            engine.nodes().to_vec()
+        };
+        assert_eq!(run(1), run(1), "same salt: same simulation");
+        assert_ne!(run(1), run(2), "a different salt re-draws the slow edges");
+    }
+
+    #[test]
+    fn network_model_default_is_rounds_and_validates() {
+        assert_eq!(NetworkModel::default(), NetworkModel::Rounds);
+        assert!(!NetworkModel::Rounds.is_async());
+        let model = NetworkModel::Async(AsyncNetworkConfig::default());
+        assert!(model.is_async());
+        model.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_async_config_is_rejected() {
+        NetworkModel::Async(AsyncNetworkConfig::default().with_loss(1.0)).validate();
+    }
+}

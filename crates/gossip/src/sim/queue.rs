@@ -1,0 +1,137 @@
+//! The deterministic discrete-event queue.
+//!
+//! A binary min-heap keyed by `(time, seq)`: `time` orders events on the
+//! simulated clock and `seq` — a monotonically increasing insertion counter
+//! — breaks every tie, so two runs that push the same events in the same
+//! order pop them in the same order.  Floating-point time is safe here
+//! because the queue rejects NaN on push and `f64::total_cmp` gives the
+//! remaining values a total order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.
+#[derive(Debug, Clone)]
+struct Entry<K> {
+    time: f64,
+    seq: u64,
+    kind: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<K> Eq for Entry<K> {}
+
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) out first.
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list keyed by `(time, seq)`.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Entry<K>>,
+    next_seq: u64,
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `kind` at `time`.
+    ///
+    /// # Panics
+    /// Panics on a NaN or negative time (a latency sample gone wrong must
+    /// fail loudly, not scramble the event order).
+    pub fn push(&mut self, time: f64, kind: K) {
+        assert!(!time.is_nan() && time >= 0.0, "event time must be a number >= 0, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, kind });
+    }
+
+    /// The time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event (ties broken by insertion order).
+    pub fn pop(&mut self) -> Option<(f64, K)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.push(1.5, label);
+        }
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn interleaved_pushes_keep_determinism() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1u32);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        q.push(2.0, 2);
+        q.push(2.0, 3);
+        q.push(1.5, 4);
+        assert_eq!(q.pop(), Some((1.5, 4)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((2.0, 3)));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time")]
+    fn nan_time_rejected() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+}

@@ -101,8 +101,17 @@ pub fn convergence_report(states: &[SumState], exact: f64) -> SumConvergenceRepo
             None => missing += 1,
         }
     }
-    let max = errors.iter().copied().fold(0.0f64, f64::max);
-    let mean = if errors.is_empty() { f64::INFINITY } else { errors.iter().sum::<f64>() / errors.len() as f64 };
+    // A run where *no* participant holds an estimate has not converged at
+    // all: both aggregate errors must be infinite (a zero max would make a
+    // fully-failed run look perfect on the worst-case metric).
+    let (max, mean) = if errors.is_empty() {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        (
+            errors.iter().copied().fold(0.0f64, f64::max),
+            errors.iter().sum::<f64>() / errors.len() as f64,
+        )
+    };
     SumConvergenceReport {
         exact,
         max_relative_error: max,
@@ -172,6 +181,35 @@ mod tests {
         engine.run_rounds(&PushPullSum, 100, &mut rng);
         let report = convergence_report(engine.nodes(), exact);
         assert!(report.mean_relative_error < 1e-2, "mean err = {}", report.mean_relative_error);
+    }
+
+    #[test]
+    fn fully_failed_run_reports_infinite_errors_on_both_metrics() {
+        // Regression: when every node lacks an estimate (ω = 0 everywhere,
+        // e.g. the weight seed crashed before its first exchange), the max
+        // metric used to read 0.0 — a perfect score for a run that computed
+        // nothing — while the mean was already INFINITY.
+        let states = vec![SumState::new(3.0); 10];
+        let report = convergence_report(&states, 30.0);
+        assert_eq!(report.without_estimate, 1.0);
+        assert!(report.mean_relative_error.is_infinite());
+        assert!(
+            report.max_relative_error.is_infinite(),
+            "a fully-failed run must not look perfect on the max metric (got {})",
+            report.max_relative_error
+        );
+    }
+
+    #[test]
+    fn partial_weight_spread_still_reports_finite_errors() {
+        // One node with an estimate is enough for finite aggregates; the
+        // missing fraction is reported separately.
+        let mut states = vec![SumState::new(3.0); 4];
+        states[0] = SumState { sigma: 33.0, omega: 1.0 };
+        let report = convergence_report(&states, 30.0);
+        assert!((report.without_estimate - 0.75).abs() < 1e-12);
+        assert!((report.max_relative_error - 0.1).abs() < 1e-12);
+        assert!((report.mean_relative_error - 0.1).abs() < 1e-12);
     }
 
     #[test]

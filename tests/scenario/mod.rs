@@ -70,6 +70,11 @@ pub struct ScenarioSpec {
     /// bit-identical to the legacy path — the matrix asserts packed-vs-
     /// legacy equality explicitly.
     pub lane_packing: bool,
+    /// Gossip delivery model: lockstep rounds (the default) or the
+    /// event-driven asynchronous simulator with per-edge latency, loss and
+    /// crash/rejoin.  The matrix asserts async scenarios reach the same
+    /// clustering quality as the synchronous engine from the same seed.
+    pub network: NetworkModel,
 }
 
 /// The two execution paths of one scenario, run from the same seed.
@@ -132,6 +137,7 @@ impl ScenarioSpec {
             .churn(self.churn)
             .pool_threads(self.pool_threads)
             .lane_packing(self.lane_packing)
+            .network(self.network.clone())
             .build()
     }
 
