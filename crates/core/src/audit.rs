@@ -26,7 +26,7 @@ pub enum DataClass {
     RawPersonalData,
 }
 
-/// One audited transfer.
+/// One audited transfer (or a batch of identical transfers).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AuditEvent {
     /// The k-means iteration during which the transfer happened.
@@ -35,6 +35,11 @@ pub struct AuditEvent {
     pub what: String,
     /// The protection class of the transferred data.
     pub class: DataClass,
+    /// How many identical transfers this event records.  The runner
+    /// aggregates its per-participant transfers into one event per class
+    /// per iteration — at a million participants a per-transfer log would
+    /// cost hundreds of megabytes for no extra information.
+    pub count: usize,
 }
 
 /// The audit log of a distributed run.
@@ -51,7 +56,12 @@ impl SecurityAudit {
 
     /// Records a transfer.
     pub fn record(&mut self, iteration: usize, what: impl Into<String>, class: DataClass) {
-        self.events.push(AuditEvent { iteration, what: what.into(), class });
+        self.record_n(iteration, what, class, 1);
+    }
+
+    /// Records `count` identical transfers as one aggregated event.
+    pub fn record_n(&mut self, iteration: usize, what: impl Into<String>, class: DataClass, count: usize) {
+        self.events.push(AuditEvent { iteration, what: what.into(), class, count });
     }
 
     /// All recorded events.
@@ -64,9 +74,10 @@ impl SecurityAudit {
         self.events.iter().any(|e| e.class == DataClass::RawPersonalData)
     }
 
-    /// Number of events of a given class.
+    /// Number of recorded transfers of a given class (aggregated events
+    /// weigh in with their multiplicity).
     pub fn count(&self, class: DataClass) -> usize {
-        self.events.iter().filter(|e| e.class == class).count()
+        self.events.iter().filter(|e| e.class == class).map(|e| e.count).sum()
     }
 }
 
@@ -84,6 +95,15 @@ mod tests {
         assert_eq!(audit.count(DataClass::Encrypted), 1);
         assert_eq!(audit.count(DataClass::DataIndependent), 1);
         assert!(!audit.leaked_raw_data());
+    }
+
+    #[test]
+    fn aggregated_events_weigh_in_with_their_multiplicity() {
+        let mut audit = SecurityAudit::new();
+        audit.record_n(0, "encrypted means contribution", DataClass::Encrypted, 1_000);
+        audit.record(0, "one-off", DataClass::Encrypted);
+        assert_eq!(audit.events().len(), 2, "aggregation keeps the log small");
+        assert_eq!(audit.count(DataClass::Encrypted), 1_001, "counts weigh multiplicity");
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! packing (`chiaroscuro_crypto::packing`) the same `k·(n+1)` coordinates
 //! travel in `⌈k·(n+1)/L⌉ + 1` ciphertexts, and the predicted transfer and
 //! crypto times shrink by the same factor.
+//!
+//! The per-unit byte size comes from the wire model, which is built **for
+//! the run's cipher backend**
+//! ([`MeansWireModel::for_backend`](chiaroscuro_crypto::wire::MeansWireModel::for_backend)):
+//! under the Damgård–Jurik backend a unit is a full `Z_{n^{s+1}}`
+//! ciphertext, while under the plaintext scalability surrogate it is the
+//! lane-packed *plaintext* payload — scale-mode network-load estimates must
+//! never charge a ciphertext expansion the simulated run does not pay.
 
 use serde::{Deserialize, Serialize};
 
@@ -207,6 +215,70 @@ mod tests {
         let packed = paper_scale(1_050usize.div_ceil(12) + 1);
         let speedup = legacy.iteration_seconds() / packed.iteration_seconds();
         assert!(speedup > 8.0, "packed iteration must be ~12x cheaper, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn surrogate_backend_shapes_report_plaintext_payload_sizes() {
+        // The honesty fix: when the plaintext surrogate carries a set of
+        // means, the wire model (hence every transfer estimate downstream)
+        // must be sized from the packed plaintext payload, not from the
+        // ciphertext expansion the surrogate never pays.
+        use chiaroscuro_crypto::backend::{BackendSetup, CipherBackend, DamgardJurik, PlaintextSurrogate};
+        use chiaroscuro_crypto::encoding::FixedPointEncoder;
+        use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
+        use chiaroscuro_crypto::wire::MeansWireModel;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let encoder = FixedPointEncoder::new(3);
+        let budget = LaneBudget {
+            contributors: 1_000,
+            doubling_budget: 96,
+            max_abs_value: 80.0,
+            biased_vectors: 2,
+        };
+        let packer = PackedEncoder::plan(1_022, &encoder, &budget).unwrap();
+        let layout = packer.layout().clone();
+        let setup = BackendSetup {
+            key_bits: 1_024,
+            damgard_jurik_s: 1,
+            population: 1_000,
+            key_share_threshold: 3,
+            packed_layout: Some(&layout),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let surrogate = PlaintextSurrogate::setup(&setup, &mut rng);
+        let crypto_setup = BackendSetup {
+            key_bits: 256, // small key: keygen stays test-fast
+            packed_layout: Some(&layout),
+            ..setup
+        };
+        let mut crypto_rng = StdRng::seed_from_u64(2);
+        let crypto = DamgardJurik::setup(&crypto_setup, &mut crypto_rng);
+
+        let lanes = packer.lanes();
+        let surrogate_model = MeansWireModel::for_backend(&surrogate, 50, 20, Some(lanes));
+        let crypto_model = MeansWireModel::for_backend(&crypto, 50, 20, Some(lanes));
+        let surrogate_shape = SetShape::from_wire_model(&surrogate_model);
+        let crypto_shape = SetShape::from_wire_model(&crypto_model);
+        assert_eq!(
+            surrogate_shape.ciphertexts_per_set, crypto_shape.ciphertexts_per_set,
+            "both backends pack the same number of units per set"
+        );
+        assert_eq!(
+            surrogate_shape.ciphertext_bytes,
+            (layout.lanes as u64 * layout.lane_bits).div_ceil(8) as usize,
+            "the surrogate unit is the packed plaintext payload"
+        );
+        // A 1024-bit-key surrogate unit carries ~1022 payload bits (~128 B);
+        // even the 256-bit crypto key expands each unit to a 512-bit
+        // ciphertext (~64 B) — at the paper's 1024-bit keys a ciphertext is
+        // 2048 bits (256 B), twice the surrogate's honest payload.
+        let paper_ciphertext_bytes = 256usize;
+        assert!(
+            surrogate_shape.ciphertext_bytes < paper_ciphertext_bytes,
+            "plaintext payloads must undercut paper-scale ciphertext expansion"
+        );
     }
 
     #[test]

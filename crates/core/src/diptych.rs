@@ -8,28 +8,31 @@
 //!   representation of the cluster's dimension-wise sum and cardinality,
 //!   both additively-homomorphically encrypted, with the data-independent
 //!   weight in the clear.
-
-use std::sync::Arc;
+//!
+//! Both Diptych shapes are generic over the [`CipherBackend`]: under the
+//! default [`DamgardJurik`] backend the units are real ciphertexts; under
+//! the plaintext surrogate they are the exact integers those ciphertexts
+//! would decrypt to, letting million-node protocol simulations skip the
+//! modular arithmetic.
 
 use rand::Rng;
 
+use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik};
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
-use chiaroscuro_crypto::keys::PublicKey;
 use chiaroscuro_crypto::packing::PackedEncoder;
-use chiaroscuro_crypto::scheme::Ciphertext;
 use chiaroscuro_crypto::wire::MeansWireModel;
 use chiaroscuro_timeseries::TimeSeries;
 
 /// The encrypted-mean side of the Diptych for one cluster.
 #[derive(Debug, Clone)]
-pub struct EncryptedMean {
+pub struct EncryptedMean<B: CipherBackend = DamgardJurik> {
     /// Encrypted dimension-wise sum of the cluster (`E(σ_sum)`, length n).
-    pub sums: Vec<Ciphertext>,
+    pub sums: Vec<B::Unit>,
     /// Encrypted cardinality of the cluster (`E(σ_count)`).
-    pub count: Ciphertext,
+    pub count: B::Unit,
 }
 
-impl EncryptedMean {
+impl<B: CipherBackend> EncryptedMean<B> {
     /// Number of measures per mean.
     pub fn series_length(&self) -> usize {
         self.sums.len()
@@ -38,14 +41,14 @@ impl EncryptedMean {
 
 /// The Diptych: cleartext perturbed centroids plus encrypted means.
 #[derive(Debug, Clone)]
-pub struct Diptych {
+pub struct Diptych<B: CipherBackend = DamgardJurik> {
     /// The cleartext, differentially-private centroids `C`.
     pub centroids: Vec<TimeSeries>,
     /// The encrypted means `M` (one per centroid).
-    pub means: Vec<EncryptedMean>,
+    pub means: Vec<EncryptedMean<B>>,
 }
 
-impl Diptych {
+impl<B: CipherBackend> Diptych<B> {
     /// Builds a participant's initial Diptych for one iteration
     /// (Algorithm 1, assignment step): the participant's series is encrypted
     /// into the mean of its closest centroid, every other mean is an
@@ -54,7 +57,7 @@ impl Diptych {
     pub fn initialise<R: Rng + ?Sized>(
         centroids: &[TimeSeries],
         local_series: &TimeSeries,
-        public_key: &Arc<PublicKey>,
+        backend: &B,
         encoder: &FixedPointEncoder,
         rng: &mut R,
     ) -> (Self, usize) {
@@ -70,14 +73,14 @@ impl Diptych {
                         sums: local_series
                             .values()
                             .iter()
-                            .map(|&v| public_key.encrypt(&encoder.encode(v, public_key), rng))
+                            .map(|&v| backend.encrypt(&backend.encode(encoder, v), rng))
                             .collect(),
-                        count: public_key.encrypt(&encoder.encode(1.0, public_key), rng),
+                        count: backend.encrypt(&backend.encode(encoder, 1.0), rng),
                     }
                 } else {
                     EncryptedMean {
-                        sums: (0..n).map(|_| public_key.encrypt_zero(rng)).collect(),
-                        count: public_key.encrypt_zero(rng),
+                        sums: (0..n).map(|_| backend.encrypt_zero(rng)).collect(),
+                        count: backend.encrypt_zero(rng),
                     }
                 }
             })
@@ -91,9 +94,9 @@ impl Diptych {
     }
 
     /// The wire-size model for transferring this Diptych's encrypted side.
-    pub fn wire_model(&self, public_key: &PublicKey) -> MeansWireModel {
+    pub fn wire_model(&self, backend: &B) -> MeansWireModel {
         let measures = self.means.first().map(EncryptedMean::series_length).unwrap_or(0);
-        MeansWireModel::new(public_key, self.means.len(), measures)
+        MeansWireModel::for_backend(backend, self.means.len(), measures, None)
     }
 }
 
@@ -116,20 +119,20 @@ pub fn closest_centroid(centroids: &[TimeSeries], series: &TimeSeries) -> usize 
 
 /// The lane-packed encrypted side of a participant's initial Diptych: the
 /// same `k·(n+1)` coordinates as the [`EncryptedMean`]s (all sums
-/// cluster-major, then all counts) packed into `⌈k·(n+1)/L⌉` ciphertexts.
+/// cluster-major, then all counts) packed into `⌈k·(n+1)/L⌉` units.
 ///
-/// The counter ciphertext of the packed overflow contract is **not** part
-/// of this struct: one counter serves a whole gossip contribution (means
+/// The counter unit of the packed overflow contract is **not** part of
+/// this struct: one counter serves a whole gossip contribution (means
 /// *and* noise shares), so the runner appends it once per
-/// [`crate::evalue::EncryptedVector`].
+/// [`crate::evalue::BackendVector`].
 #[derive(Debug, Clone)]
-pub struct PackedMeans {
-    /// The packed sum-and-count ciphertexts, lane layout per the
+pub struct PackedMeans<B: CipherBackend = DamgardJurik> {
+    /// The packed sum-and-count units, lane layout per the
     /// [`PackedEncoder`] that built them.
-    pub ciphertexts: Vec<Ciphertext>,
+    pub units: Vec<B::Unit>,
 }
 
-impl PackedMeans {
+impl<B: CipherBackend> PackedMeans<B> {
     /// Lane-packed counterpart of [`Diptych::initialise`]: the local series
     /// is packed into the coordinates of its closest centroid's mean (count
     /// 1), every other coordinate is zero, and the whole flat vector is
@@ -141,7 +144,7 @@ impl PackedMeans {
     pub fn initialise<R: Rng + ?Sized>(
         centroids: &[TimeSeries],
         local_series: &TimeSeries,
-        public_key: &Arc<PublicKey>,
+        backend: &B,
         packer: &PackedEncoder,
         rng: &mut R,
     ) -> (Self, usize) {
@@ -153,33 +156,28 @@ impl PackedMeans {
         let mut coordinates = vec![0.0f64; k * (n + 1)];
         coordinates[best * n..(best + 1) * n].copy_from_slice(local_series.values());
         coordinates[k * n + best] = 1.0;
-        let ciphertexts = packer
-            .pack(&coordinates)
-            .iter()
-            .map(|m| public_key.encrypt(m, rng))
-            .collect();
-        (Self { ciphertexts }, best)
+        let units = packer.pack(&coordinates).iter().map(|m| backend.encrypt(m, rng)).collect();
+        (Self { units }, best)
     }
 
-    /// Number of data ciphertexts (excluding the shared counter).
+    /// Number of data units (excluding the shared counter).
     pub fn len(&self) -> usize {
-        self.ciphertexts.len()
+        self.units.len()
     }
 
-    /// Whether the packed means hold no ciphertext (they never do for
-    /// `k ≥ 1`).
+    /// Whether the packed means hold no unit (they never do for `k ≥ 1`).
     pub fn is_empty(&self) -> bool {
-        self.ciphertexts.is_empty()
+        self.units.is_empty()
     }
 
     /// The wire-size model for a packed set of means.
     pub fn wire_model(
-        public_key: &PublicKey,
+        backend: &B,
         k: usize,
         series_length: usize,
         packer: &PackedEncoder,
     ) -> MeansWireModel {
-        MeansWireModel::new_packed(public_key, k, series_length, packer.lanes())
+        MeansWireModel::for_backend(backend, k, series_length, Some(packer.lanes()))
     }
 }
 
@@ -190,22 +188,22 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (KeyPair, Arc<PublicKey>, FixedPointEncoder, StdRng) {
+    fn setup() -> (KeyPair, DamgardJurik, FixedPointEncoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(1);
         let kp = KeyPair::generate(128, 1, &mut rng);
-        let pk = Arc::new(kp.public.clone());
-        (kp, pk, FixedPointEncoder::new(3), rng)
+        let backend = DamgardJurik::from_public_key(kp.public.clone());
+        (kp, backend, FixedPointEncoder::new(3), rng)
     }
 
     #[test]
     fn initialise_assigns_to_closest_centroid() {
-        let (kp, pk, encoder, mut rng) = setup();
+        let (kp, backend, encoder, mut rng) = setup();
         let centroids = vec![
             TimeSeries::new(vec![0.0, 0.0]),
             TimeSeries::new(vec![10.0, 10.0]),
         ];
         let series = TimeSeries::new(vec![9.0, 9.5]);
-        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &backend, &encoder, &mut rng);
         assert_eq!(assigned, 1);
         assert_eq!(diptych.k(), 2);
         // The assigned mean decrypts to the series values; the other decrypts to zeros.
@@ -223,11 +221,11 @@ mod tests {
 
     #[test]
     fn wire_model_counts_all_ciphertexts() {
-        let (_kp, pk, encoder, mut rng) = setup();
+        let (_kp, backend, encoder, mut rng) = setup();
         let centroids = vec![TimeSeries::zeros(4), TimeSeries::constant(4, 5.0), TimeSeries::constant(4, 9.0)];
         let series = TimeSeries::new(vec![5.0, 5.0, 5.0, 5.0]);
-        let (diptych, _) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
-        let model = diptych.wire_model(&pk);
+        let (diptych, _) = Diptych::initialise(&centroids, &series, &backend, &encoder, &mut rng);
+        let model = diptych.wire_model(&backend);
         assert_eq!(model.ciphertexts_per_set(), 3 * (4 + 1));
         assert!(model.set_bytes() > 0);
     }
@@ -237,11 +235,11 @@ mod tests {
         use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
         use num_bigint::BigUint;
 
-        let (kp, pk, encoder, mut rng) = setup();
+        let (kp, backend, encoder, mut rng) = setup();
         let budget =
             LaneBudget { contributors: 8, doubling_budget: 4, max_abs_value: 80.0, biased_vectors: 1 };
         let packer =
-            PackedEncoder::plan(pk.packing_capacity_bits(), &encoder, &budget).unwrap();
+            PackedEncoder::plan(kp.public.packing_capacity_bits(), &encoder, &budget).unwrap();
         let centroids = vec![
             TimeSeries::new(vec![0.0, 0.0, 0.0]),
             TimeSeries::new(vec![10.0, 10.0, 10.0]),
@@ -249,8 +247,8 @@ mod tests {
         let series = TimeSeries::new(vec![9.0, 9.5, 8.75]);
         let (k, n) = (2usize, 3usize);
         let (packed, packed_assigned) =
-            PackedMeans::initialise(&centroids, &series, &pk, &packer, &mut rng);
-        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+            PackedMeans::initialise(&centroids, &series, &backend, &packer, &mut rng);
+        let (diptych, assigned) = Diptych::initialise(&centroids, &series, &backend, &encoder, &mut rng);
         assert_eq!(packed_assigned, assigned, "both paths must agree on the assignment");
         assert_eq!(packed.len(), packer.ciphertexts_for(k * (n + 1)));
         assert!(packed.len() < k * (n + 1), "packing must use fewer ciphertexts");
@@ -259,7 +257,7 @@ mod tests {
         // Decrypt + unpack (single contribution: counter C = 1, one biased
         // vector) and compare with the per-coordinate decodes.
         let plaintexts: Vec<BigUint> =
-            packed.ciphertexts.iter().map(|c| kp.secret.decrypt(&kp.public, c)).collect();
+            packed.units.iter().map(|c| kp.secret.decrypt(&kp.public, c)).collect();
         let decoded = packer.unpack(&plaintexts, k * (n + 1), &BigUint::from(1u32), 1);
         for cluster in 0..k {
             for j in 0..n {
@@ -272,16 +270,16 @@ mod tests {
             assert_eq!(decoded[k * n + cluster], legacy_count, "count {cluster}");
         }
         // The packed wire model reflects the reduced ciphertext count.
-        let model = PackedMeans::wire_model(&pk, k, n, &packer);
+        let model = PackedMeans::wire_model(&backend, k, n, &packer);
         assert_eq!(model.ciphertexts_per_set(), packed.len() + 1, "data blocks + counter");
     }
 
     #[test]
     fn ties_break_to_smallest_index() {
-        let (_kp, pk, encoder, mut rng) = setup();
+        let (_kp, backend, encoder, mut rng) = setup();
         let centroids = vec![TimeSeries::new(vec![1.0]), TimeSeries::new(vec![3.0])];
         let series = TimeSeries::new(vec![2.0]);
-        let (_, assigned) = Diptych::initialise(&centroids, &series, &pk, &encoder, &mut rng);
+        let (_, assigned) = Diptych::initialise(&centroids, &series, &backend, &encoder, &mut rng);
         assert_eq!(assigned, 0);
     }
 }

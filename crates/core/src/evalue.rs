@@ -1,40 +1,50 @@
-//! The encrypted-means vector as an *epidemic value*.
+//! The encrypted-means vector as an *epidemic value*, generic over the
+//! cipher backend.
 //!
 //! The gossip substrate expresses the EESum local update rule (Algorithm 2)
 //! over any value supporting `+ₕ` and scaling by powers of two.  This module
-//! provides the production implementation: a flat vector of Damgård–Jurik
-//! ciphertexts (all the sums and counts of a Diptych, plus the noise-share
-//! vectors during the noise generation), carrying its public key.
+//! provides the production implementation: a flat vector of backend units —
+//! Damgård–Jurik ciphertexts for the real protocol
+//! ([`EncryptedVector`]), exact plaintext lane integers for the
+//! million-node scalability surrogate — carrying a shared handle to the
+//! backend that owns the homomorphic operations.
 
 use std::sync::Arc;
 
-use chiaroscuro_crypto::keys::PublicKey;
-use chiaroscuro_crypto::scheme::Ciphertext;
+use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik};
 use chiaroscuro_gossip::eesum::EpidemicValue;
 
-/// A vector of ciphertexts with the homomorphic operations required by the
-/// EESum rule.
-#[derive(Debug, Clone)]
-pub struct EncryptedVector {
-    public_key: Arc<PublicKey>,
-    ciphertexts: Vec<Ciphertext>,
+/// A vector of backend units with the homomorphic operations required by
+/// the EESum rule.
+pub struct BackendVector<B: CipherBackend> {
+    backend: Arc<B>,
+    units: Vec<B::Unit>,
 }
 
-impl EncryptedVector {
-    /// Wraps a vector of ciphertexts.
-    pub fn new(public_key: Arc<PublicKey>, ciphertexts: Vec<Ciphertext>) -> Self {
-        assert!(!ciphertexts.is_empty(), "an encrypted vector cannot be empty");
-        Self { public_key, ciphertexts }
+/// The production vector of Damgård–Jurik ciphertexts (the historical name
+/// of the type, kept as the default-backend alias).
+pub type EncryptedVector = BackendVector<DamgardJurik>;
+
+impl<B: CipherBackend> BackendVector<B> {
+    /// Wraps a vector of units.
+    pub fn new(backend: Arc<B>, units: Vec<B::Unit>) -> Self {
+        assert!(!units.is_empty(), "an epidemic vector cannot be empty");
+        Self { backend, units }
     }
 
-    /// The ciphertexts.
-    pub fn ciphertexts(&self) -> &[Ciphertext] {
-        &self.ciphertexts
+    /// The units (ciphertexts under an encrypted backend).
+    pub fn units(&self) -> &[B::Unit] {
+        &self.units
     }
 
-    /// Number of ciphertexts.
+    /// The units, under the historical ciphertext-centric name.
+    pub fn ciphertexts(&self) -> &[B::Unit] {
+        &self.units
+    }
+
+    /// Number of units.
     pub fn len(&self) -> usize {
-        self.ciphertexts.len()
+        self.units.len()
     }
 
     /// Always false (construction rejects empty vectors).
@@ -42,39 +52,55 @@ impl EncryptedVector {
         false
     }
 
-    /// The public key the ciphertexts were produced under.
-    pub fn public_key(&self) -> &Arc<PublicKey> {
-        &self.public_key
+    /// The backend the units were produced under.
+    pub fn backend(&self) -> &Arc<B> {
+        &self.backend
     }
 }
 
-impl EpidemicValue for EncryptedVector {
+impl<B: CipherBackend> Clone for BackendVector<B> {
+    fn clone(&self) -> Self {
+        Self { backend: Arc::clone(&self.backend), units: self.units.clone() }
+    }
+}
+
+impl<B: CipherBackend> std::fmt::Debug for BackendVector<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendVector")
+            .field("backend", &B::NAME)
+            .field("units", &self.units)
+            .finish()
+    }
+}
+
+impl<B: CipherBackend> EpidemicValue for BackendVector<B> {
     fn scale_pow2(&mut self, exponent: u32) {
         if exponent == 0 {
             return;
         }
-        for c in &mut self.ciphertexts {
-            *c = self.public_key.scale_pow2(c, exponent);
+        for unit in &mut self.units {
+            *unit = self.backend.scale_pow2(unit, exponent);
         }
     }
 
     fn add_assign(&mut self, other: &Self) {
-        assert_eq!(self.ciphertexts.len(), other.ciphertexts.len(), "dimension mismatch");
-        for (a, b) in self.ciphertexts.iter_mut().zip(other.ciphertexts.iter()) {
-            *a = self.public_key.add(a, b);
+        assert_eq!(self.units.len(), other.units.len(), "dimension mismatch");
+        for (a, b) in self.units.iter_mut().zip(other.units.iter()) {
+            *a = self.backend.add(a, b);
         }
     }
 
     fn payload_units(&self) -> usize {
-        // One gossip message carries the whole vector: its ciphertext count
-        // is the wire payload, and lane packing shrinks exactly this number.
-        self.ciphertexts.len()
+        // One gossip message carries the whole vector: its unit count is the
+        // wire payload, and lane packing shrinks exactly this number.
+        self.units.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiaroscuro_crypto::backend::{BackendSetup, PlaintextSurrogate};
     use chiaroscuro_crypto::encoding::FixedPointEncoder;
     use chiaroscuro_crypto::keys::KeyPair;
     use chiaroscuro_gossip::churn::ChurnModel;
@@ -83,19 +109,25 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn dj_backend(seed: u64) -> (KeyPair, Arc<DamgardJurik>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let backend = Arc::new(DamgardJurik::from_public_key(kp.public.clone()));
+        (kp, backend)
+    }
+
     #[test]
     fn scale_and_add_match_plaintext_arithmetic() {
         let mut rng = StdRng::seed_from_u64(1);
-        let kp = KeyPair::generate(128, 1, &mut rng);
-        let pk = Arc::new(kp.public.clone());
+        let (kp, backend) = dj_backend(1);
         let encoder = FixedPointEncoder::new(3);
-        let enc = |v: f64, rng: &mut StdRng| pk.encrypt(&encoder.encode(v, &pk), rng);
-        let mut a = EncryptedVector::new(pk.clone(), vec![enc(1.5, &mut rng), enc(-2.0, &mut rng)]);
-        let b = EncryptedVector::new(pk.clone(), vec![enc(0.25, &mut rng), enc(4.0, &mut rng)]);
+        let enc = |v: f64, rng: &mut StdRng| backend.encrypt(&encoder.encode(v, &kp.public), rng);
+        let mut a = BackendVector::new(backend.clone(), vec![enc(1.5, &mut rng), enc(-2.0, &mut rng)]);
+        let b = BackendVector::new(backend.clone(), vec![enc(0.25, &mut rng), enc(4.0, &mut rng)]);
         a.scale_pow2(2);
         a.add_assign(&b);
         let decoded: Vec<f64> = a
-            .ciphertexts()
+            .units()
             .iter()
             .map(|c| encoder.decode(&kp.secret.decrypt(&kp.public, c), &kp.public))
             .collect();
@@ -110,13 +142,18 @@ mod tests {
         // every participant's decrypted estimate equals the global sum.
         let mut rng = StdRng::seed_from_u64(2);
         let kp = KeyPair::generate(128, 1, &mut rng);
-        let pk = Arc::new(kp.public.clone());
+        let backend = Arc::new(DamgardJurik::from_public_key(kp.public.clone()));
         let encoder = FixedPointEncoder::new(3);
         let values: Vec<f64> = vec![1.0, 2.5, -0.5, 4.0, 0.0, 10.0, 3.25, 1.75];
         let exact: f64 = values.iter().sum();
         let vectors: Vec<EncryptedVector> = values
             .iter()
-            .map(|&v| EncryptedVector::new(pk.clone(), vec![pk.encrypt(&encoder.encode(v, &pk), &mut rng)]))
+            .map(|&v| {
+                BackendVector::new(
+                    backend.clone(),
+                    vec![backend.encrypt(&encoder.encode(v, &kp.public), &mut rng)],
+                )
+            })
             .collect();
         let states = initial_states(vectors);
         let mut engine = GossipEngine::new(states, ChurnModel::NONE);
@@ -126,20 +163,50 @@ mod tests {
             if *weight <= 0.0 {
                 continue;
             }
-            let decoded = encoder.decode(&kp.secret.decrypt(&kp.public, &value.ciphertexts()[0]), &kp.public);
+            let decoded = encoder.decode(&kp.secret.decrypt(&kp.public, &value.units()[0]), &kp.public);
             let estimate = decoded / *weight;
             assert!((estimate - exact).abs() / exact.abs() < 1e-3, "estimate {estimate} vs exact {exact}");
         }
     }
 
     #[test]
+    fn surrogate_vectors_drive_the_same_epidemic_rule() {
+        // The generic vector must run the EESum rule over plaintext units
+        // exactly as over ciphertexts: integer sums, power-of-two scalings.
+        use num_bigint::BigUint;
+        let setup = BackendSetup {
+            key_bits: 128,
+            damgard_jurik_s: 1,
+            population: 4,
+            key_share_threshold: 2,
+            packed_layout: None,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let backend = Arc::new(PlaintextSurrogate::setup(&setup, &mut rng));
+        let mut a = BackendVector::new(
+            backend.clone(),
+            vec![backend.encrypt(&BigUint::from(5u32), &mut rng)],
+        );
+        let b = BackendVector::new(
+            backend.clone(),
+            vec![backend.encrypt(&BigUint::from(7u32), &mut rng)],
+        );
+        a.scale_pow2(3);
+        a.add_assign(&b);
+        assert_eq!(backend.threshold_decrypt(&a.units()[0]), BigUint::from(5u32 * 8 + 7));
+        assert_eq!(a.payload_units(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn add_assign_rejects_length_mismatch() {
         let mut rng = StdRng::seed_from_u64(3);
-        let kp = KeyPair::generate(128, 1, &mut rng);
-        let pk = Arc::new(kp.public.clone());
-        let mut a = EncryptedVector::new(pk.clone(), vec![pk.encrypt_zero(&mut rng)]);
-        let b = EncryptedVector::new(pk.clone(), vec![pk.encrypt_zero(&mut rng), pk.encrypt_zero(&mut rng)]);
+        let (_kp, backend) = dj_backend(3);
+        let mut a = BackendVector::new(backend.clone(), vec![backend.encrypt_zero(&mut rng)]);
+        let b = BackendVector::new(
+            backend.clone(),
+            vec![backend.encrypt_zero(&mut rng), backend.encrypt_zero(&mut rng)],
+        );
         a.add_assign(&b);
     }
 }

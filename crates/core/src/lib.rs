@@ -9,8 +9,11 @@
 //!   differentially-private centroids on one side, additively-homomorphic
 //!   encrypted means on the other (per-coordinate or lane-packed);
 //! * [`evalue`] — the encrypted-mean vector as an epidemic value, i.e. the
-//!   bridge between the crypto substrate and the EESum gossip rule
-//!   (Algorithm 2);
+//!   bridge between the cipher backend and the EESum gossip rule
+//!   (Algorithm 2), generic over
+//!   [`CipherBackend`](chiaroscuro_crypto::backend::CipherBackend) so the
+//!   same protocol runs over real Damgård–Jurik ciphertexts or the exact
+//!   plaintext surrogate that scales to millions of simulated devices;
 //! * [`participant`] — per-device state (local series, key-share, Diptych);
 //! * [`noise`] — the epidemic noise generation and surplus correction
 //!   (§4.2.2);
@@ -37,6 +40,7 @@ pub mod surrogate;
 
 pub use config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
 pub use diptych::{Diptych, EncryptedMean, PackedMeans};
+pub use evalue::{BackendVector, EncryptedVector};
 pub use runner::{DistributedRun, RunOutcome};
 
 /// Commonly used items.
@@ -45,8 +49,10 @@ pub mod prelude {
     pub use crate::config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
     pub use crate::cost_model::IterationCostModel;
     pub use crate::diptych::{Diptych, EncryptedMean};
+    pub use crate::evalue::{BackendVector, EncryptedVector};
     pub use crate::runner::{DistributedRun, RunOutcome};
     pub use crate::surrogate::QualitySurrogate;
+    pub use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik, PlaintextSurrogate};
     pub use chiaroscuro_dp::budget::BudgetStrategy;
     pub use chiaroscuro_gossip::sim::{
         AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel, NetworkModel,

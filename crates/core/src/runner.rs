@@ -28,6 +28,39 @@
 //! noise-independent cleartext, so the security argument (Lemma 3) is
 //! unchanged; only the ordering differs.
 //!
+//! # Cipher backends
+//!
+//! The run is generic over a [`CipherBackend`] owning every ciphertext
+//! operation.  [`DistributedRun::new`] uses the real [`DamgardJurik`]
+//! scheme and is **bit-identical** to the historical hard-wired runner from
+//! the same seed (the backend delegates every call in the same order with
+//! the same RNG draws).  [`DistributedRun::with_backend`] accepts any
+//! backend — in particular
+//! [`PlaintextSurrogate`](chiaroscuro_crypto::backend::PlaintextSurrogate),
+//! which carries the exact plaintext lane integers instead of ciphertexts
+//! so the full protocol (gossip, EESum, churn, dissemination, noise shares,
+//! surplus correction) can run at 100k–1M participants.  Backend setup
+//! preserves RNG parity (see `chiaroscuro_crypto::backend`), so a surrogate
+//! run decodes the *same* centroids as a crypto run from the same seed —
+//! asserted by the scenario matrix and the backend-equivalence proptests.
+//!
+//! The audit log records the protection class each transfer has **in the
+//! deployed protocol**: under a plaintext backend the "encrypted" channels
+//! carry stand-in plaintexts, so requirement R2 is a property the simulated
+//! design retains, not a property of the simulation's wire content.
+//!
+//! # Scale path: the lane arena
+//!
+//! Under a plaintext backend with an asynchronous network model the EESum
+//! phase runs on a struct-of-arrays
+//! [`EesUnitArena`] instead
+//! of per-node `Vec`s of big integers: the entire population's lane-packed
+//! state lives in a handful of flat allocations and each exchange is a pair
+//! of limb-window operations.  The event loop is storage-agnostic and
+//! consumes identical RNG draws either way, so the arena changes memory
+//! behaviour only — never a decoded bit (asserted by a scenario test that
+//! compares the arena path against the crypto path from the same seed).
+//!
 //! # Network models
 //!
 //! Every gossip phase (EESum means/noise sum, cleartext counter, correction
@@ -64,7 +97,10 @@
 //! packed and legacy pipelines consume identical noise and decode
 //! **bit-identical** centroids from the same seed — packing composes with
 //! `pool_threads`, and both equalities are asserted by the scenario matrix.
+//! Plaintext backends *require* lane packing: its per-lane biases are what
+//! represent negative noise shares without modular arithmetic.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -73,18 +109,20 @@ use serde::{Deserialize, Serialize};
 
 use num_bigint::BigUint;
 
+use chiaroscuro_crypto::backend::{BackendSetup, CipherBackend, DamgardJurik};
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
-use chiaroscuro_crypto::keys::{KeyPair, PublicKey};
+use chiaroscuro_crypto::keys::PublicKey;
 use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
-use chiaroscuro_crypto::scheme::Ciphertext;
-use chiaroscuro_crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
 use chiaroscuro_dp::laplace::{LaplaceMechanism, Sensitivity};
 use chiaroscuro_dp::noise_share::NoiseShareGenerator;
-use chiaroscuro_gossip::eesum::EpidemicValue;
 use chiaroscuro_gossip::churn::ChurnModel;
 use chiaroscuro_gossip::dissemination::{converged, winning_state, DisseminationProtocol, MinIdState};
-use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesSumProtocol};
-use chiaroscuro_gossip::sim::{run_phase, run_phase_until};
+use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesState, EesSumProtocol};
+use chiaroscuro_gossip::metrics::ExchangeMetrics;
+use chiaroscuro_gossip::sim::arena::EesUnitArena;
+use chiaroscuro_gossip::sim::{
+    run_async_phase, run_phase, run_phase_until, NetworkModel, PhaseOutcome,
+};
 use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
 use chiaroscuro_kmeans::report::{IterationReport, RunReport};
 use chiaroscuro_timeseries::inertia::{dataset_inertia, intra_inertia, Assignment};
@@ -93,9 +131,13 @@ use chiaroscuro_timeseries::{TimeSeries, TimeSeriesSet};
 use crate::audit::{DataClass, SecurityAudit};
 use crate::config::ChiaroscuroParams;
 use crate::diptych::{Diptych, PackedMeans};
-use crate::evalue::EncryptedVector;
+use crate::evalue::BackendVector;
 use crate::noise::{NoiseCorrection, NoiseShareVector};
-use crate::participant::Participant;
+
+/// Participants per work batch when filling the lane arena: bounds the
+/// transient per-node unit vectors so the peak footprint stays close to the
+/// arena itself at million-node populations.
+const ARENA_FILL_CHUNK: usize = 16_384;
 
 /// Network-level statistics of one distributed iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,11 +162,17 @@ pub struct IterationNetworkStats {
     /// persistent non-zero deficit means the aggregated Laplace noise is
     /// below its calibrated scale for this iteration.
     pub noise_share_deficit: usize,
-    /// Ciphertexts carried by one epidemic-sum gossip message (the whole
-    /// encrypted contribution vector).  `2·k·(n+1)` on the legacy path;
-    /// lane packing divides the data part by the lane count and adds one
-    /// counter ciphertext, so this is where the bandwidth saving shows.
+    /// Payload units carried by one epidemic-sum gossip message (the whole
+    /// contribution vector).  `2·k·(n+1)` on the legacy path; lane packing
+    /// divides the data part by the lane count and adds one counter unit,
+    /// so this is where the bandwidth saving shows.
     pub sum_payload_ciphertexts: usize,
+    /// Bytes of one epidemic-sum gossip payload under the run's cipher
+    /// backend: `sum_payload_ciphertexts` × the backend's honest per-unit
+    /// wire size — full ciphertext expansion for Damgård–Jurik, the packed
+    /// *plaintext* size for the scalability surrogate, which never pays the
+    /// ciphertext blow-up and must not report it.
+    pub sum_payload_bytes: usize,
     /// Simulated wall-clock time consumed by this iteration's gossip phases
     /// (epidemic sums + counter + dissemination) under the asynchronous
     /// network model, in exchange periods.  `0.0` under the round-based
@@ -155,29 +203,50 @@ impl RunOutcome {
 }
 
 /// A fully-distributed Chiaroscuro execution over a simulated population
-/// (one participant per series of the dataset).
+/// (one participant per series of the dataset), generic over the cipher
+/// backend `B` (the real Damgård–Jurik scheme by default).
 #[derive(Debug, Clone)]
-pub struct DistributedRun<'a> {
+pub struct DistributedRun<'a, B: CipherBackend = DamgardJurik> {
     params: ChiaroscuroParams,
     data: &'a TimeSeriesSet,
     initial_centroids: Option<Vec<TimeSeries>>,
+    _backend: PhantomData<B>,
 }
 
 impl<'a> DistributedRun<'a> {
-    /// Creates a run over `data` (one participant per series).
+    /// Creates a run over `data` (one participant per series) under the
+    /// default Damgård–Jurik backend.
     ///
     /// # Panics
     /// Panics if the population is smaller than 2, than the key-share
     /// threshold, or than the expected number of noise shares `nν` (see
     /// [`ChiaroscuroParams::validate_for_population`]).
     pub fn new(params: ChiaroscuroParams, data: &'a TimeSeriesSet) -> Self {
+        Self::with_backend(params, data)
+    }
+}
+
+impl<'a, B: CipherBackend> DistributedRun<'a, B> {
+    /// Creates a run over `data` under an explicit cipher backend.
+    ///
+    /// # Panics
+    /// Panics under the conditions of [`DistributedRun::new`], and when a
+    /// plaintext backend is selected without lane packing (per-lane biases
+    /// are the surrogate's only representation of negative noise shares).
+    pub fn with_backend(params: ChiaroscuroParams, data: &'a TimeSeriesSet) -> Self {
         assert!(data.len() >= 2, "Chiaroscuro needs at least two participants");
         assert!(
             params.key_share_threshold <= data.len(),
             "the key-share threshold cannot exceed the population"
         );
         params.validate_for_population(data.len());
-        let run = Self { params, data, initial_centroids: None };
+        assert!(
+            B::ENCRYPTED || params.lane_packing,
+            "the {} backend requires lane_packing: lane biases are its only \
+             representation of negative noise shares",
+            B::NAME
+        );
+        let run = Self { params, data, initial_centroids: None, _backend: PhantomData };
         // Up-front lane validation (mirroring validate_for_population): an
         // overflowing lane configuration is rejected here, before any key
         // generation or encryption, never discovered as corruption later.
@@ -189,15 +258,16 @@ impl<'a> DistributedRun<'a> {
     /// [`ChiaroscuroParams::lane_packing`] is off.
     ///
     /// The layout is a pure function of the parameters and the dataset
-    /// bounds — the same plan validates the configuration in [`Self::new`]
-    /// and drives the hot path in [`Self::execute_with_rng`].  Its lane
-    /// budget covers the population, the worst per-iteration noise scale of
-    /// the ε schedule (64 Laplace e-folds of tail headroom per share), and
-    /// an epidemic doubling allowance of `8·exchanges + 32`: the EESum
-    /// exchange counter cascades within a round (sequential exchanges reuse
-    /// freshly bumped states), growing by ~5–6 per round empirically — the
-    /// gossip crate pins that law with its own regression test — so 8 per
-    /// round plus slack leaves a wide margin.  Should a freak schedule ever
+    /// bounds — the same plan validates the configuration in
+    /// [`Self::with_backend`] and drives the hot path in
+    /// [`Self::execute_with_rng`].  Its lane budget covers the population,
+    /// the worst per-iteration noise scale of the ε schedule (64 Laplace
+    /// e-folds of tail headroom per share), and an epidemic doubling
+    /// allowance of `8·exchanges + 32`: the EESum exchange counter cascades
+    /// within a round (sequential exchanges reuse freshly bumped states),
+    /// growing by ~5–6 per round empirically — the gossip crate pins that
+    /// law for both engines with its own regression tests — so 8 per round
+    /// plus slack leaves a wide margin.  Should a freak schedule ever
     /// exceed it anyway, the decode-time guard in `PackedEncoder::unpack`
     /// fails loudly instead of corrupting lanes.
     ///
@@ -287,29 +357,26 @@ impl<'a> DistributedRun<'a> {
         let entries = k * (n + 1);
         let packing = self.plan_packing();
 
-        // --- Bootstrap: key material, key-shares, initial centroids. ---
-        let keypair = KeyPair::generate(params.key_bits, params.damgard_jurik_s, rng);
-        let public_key = Arc::new(keypair.public.clone());
-        if let Some(packer) = &packing {
+        // --- Bootstrap: backend key material and initial centroids. ---
+        let setup = BackendSetup {
+            key_bits: params.key_bits,
+            damgard_jurik_s: params.damgard_jurik_s,
+            population,
+            key_share_threshold: params.key_share_threshold,
+            packed_layout: packing.as_ref().map(|p| p.layout()),
+        };
+        let backend = Arc::new(B::setup(&setup, rng));
+        if let (Some(packer), Some(capacity)) = (&packing, backend.plaintext_capacity_bits()) {
             // The layout was planned from the pre-keygen capacity bound;
             // re-check it against the modulus actually generated so a
             // packed plaintext can never reach n^s (belt and braces — the
             // conservative bound already covers every possible key).
             let layout = packer.layout();
             assert!(
-                layout.lanes as u64 * layout.lane_bits <= public_key.packing_capacity_bits(),
+                layout.lanes as u64 * layout.lane_bits <= capacity,
                 "planned lane layout exceeds the generated key's plaintext capacity"
             );
         }
-        let dealer = ThresholdDealer::new(&keypair, population, params.key_share_threshold);
-        let key_shares = dealer.deal(rng);
-        let participants: Vec<Participant> = data
-            .iter()
-            .cloned()
-            .zip(key_shares)
-            .enumerate()
-            .map(|(i, (series, share))| Participant::new(i as u32, series, share))
-            .collect();
         let encoder = FixedPointEncoder::new(params.encoding_digits);
         let mut centroids = match &self.initial_centroids {
             Some(c) => c.clone(),
@@ -328,6 +395,12 @@ impl<'a> DistributedRun<'a> {
             .num_threads(params.pool_threads)
             .build()
             .expect("the offline pool cannot fail to build");
+        // The struct-of-arrays EESum arena: plaintext lane integers under an
+        // event-driven network model, i.e. the configuration meant to scale
+        // to 100k–1M nodes.  Encrypted backends always use per-node states
+        // (their units are not plain integers); the round engine keeps the
+        // per-node layout too, whose footprint it tolerates.
+        let use_arena = !B::ENCRYPTED && params.network.is_async();
 
         let mut audit = SecurityAudit::new();
         let mut iterations = Vec::new();
@@ -355,7 +428,9 @@ impl<'a> DistributedRun<'a> {
             // and break their bit-equality).
             let participant_seeds: Vec<u64> = (0..population).map(|_| rng.gen()).collect();
             let centroids_view = &centroids;
-            let contributions: Vec<(usize, EncryptedVector)> = pool.map(&participants, |i, participant| {
+            let packing_view = &packing;
+            let backend_view: &B = &backend;
+            let device = |i: usize, series: &TimeSeries| -> (usize, Vec<B::Unit>) {
                 let mut device_rng = StdRng::seed_from_u64(participant_seeds[i]);
                 let noise_seed: u64 = device_rng.gen();
                 let encryption_seed: u64 = device_rng.gen();
@@ -368,37 +443,36 @@ impl<'a> DistributedRun<'a> {
                     &mut StdRng::seed_from_u64(noise_seed),
                 );
                 let mut device_rng = StdRng::seed_from_u64(encryption_seed);
-                if let Some(packer) = &packing {
-                    // Lane-packed contribution: ⌈k·(n+1)/L⌉ means ciphertexts,
-                    // as many noise-share ciphertexts (same lane layout, so
-                    // the runner can add them pairwise before decryption),
-                    // and one shared counter ciphertext for the accumulated
-                    // bias.
+                if let Some(packer) = packing_view {
+                    // Lane-packed contribution: ⌈k·(n+1)/L⌉ means units, as
+                    // many noise-share units (same lane layout, so the
+                    // runner can add them pairwise before decryption), and
+                    // one shared counter unit for the accumulated bias.
                     let (means, assigned) = PackedMeans::initialise(
                         centroids_view,
-                        &participant.series,
-                        &public_key,
+                        series,
+                        backend_view,
                         packer,
                         &mut device_rng,
                     );
-                    let mut flat = means.ciphertexts;
+                    let mut flat = means.units;
                     flat.reserve(flat.len() + 1);
                     for m in packer.pack(&noise.flatten()) {
-                        flat.push(public_key.encrypt(&m, &mut device_rng));
+                        flat.push(backend_view.encrypt(&m, &mut device_rng));
                     }
-                    flat.push(public_key.encrypt(&packer.counter_plaintext(), &mut device_rng));
-                    (assigned, EncryptedVector::new(public_key.clone(), flat))
+                    flat.push(backend_view.encrypt(&packer.counter_plaintext(), &mut device_rng));
+                    (assigned, flat)
                 } else {
                     let (diptych, assigned) = Diptych::initialise(
                         centroids_view,
-                        &participant.series,
-                        &public_key,
+                        series,
+                        backend_view,
                         &encoder,
                         &mut device_rng,
                     );
-                    // Flatten: all sum ciphertexts (cluster-major), then all counts,
+                    // Flatten: all sum units (cluster-major), then all counts,
                     // then the participant's encrypted noise shares in the same layout.
-                    let mut flat: Vec<Ciphertext> = Vec::with_capacity(2 * entries);
+                    let mut flat: Vec<B::Unit> = Vec::with_capacity(2 * entries);
                     for mean in &diptych.means {
                         flat.extend(mean.sums.iter().cloned());
                     }
@@ -406,24 +480,101 @@ impl<'a> DistributedRun<'a> {
                         flat.push(mean.count.clone());
                     }
                     for share in noise.flatten() {
-                        flat.push(public_key.encrypt(&encoder.encode(share, &public_key), &mut device_rng));
+                        flat.push(
+                            backend_view.encrypt(&backend_view.encode(&encoder, share), &mut device_rng),
+                        );
                     }
-                    (assigned, EncryptedVector::new(public_key.clone(), flat))
+                    (assigned, flat)
                 }
-            });
-            let mut labels = Vec::with_capacity(population);
-            let mut contribution_vectors = Vec::with_capacity(population);
-            for (assigned, vector) in contributions {
-                labels.push(assigned);
-                contribution_vectors.push(vector);
-                audit.record(iteration, "encrypted means contribution", DataClass::Encrypted);
-                audit.record(iteration, "encrypted noise shares", DataClass::Encrypted);
-                audit.record(iteration, "epidemic weight and exchange counter", DataClass::DataIndependent);
-            }
+            };
+
             // One gossip message carries one whole contribution vector; its
-            // ciphertext count is the per-message sum payload (reported in
-            // the iteration stats, where lane packing's saving is visible).
-            let sum_payload_ciphertexts = contribution_vectors[0].payload_units();
+            // unit count is the per-message sum payload (reported in the
+            // iteration stats, where lane packing's saving is visible), and
+            // the byte size follows the backend's honest unit size.
+            let sum_payload_ciphertexts = match &packing {
+                Some(packer) => 2 * packer.ciphertexts_for(entries) + 1,
+                None => 2 * entries,
+            };
+            let sum_payload_bytes = sum_payload_ciphertexts * backend.unit_bytes();
+
+            // --- Computation step (a): epidemic encrypted sums + counter. ---
+            // Both phases dispatch on `params.network`: the round engine
+            // (same RNG draws as driving it directly) or the event-driven
+            // asynchronous engine, whose wall-clock latency shows up in
+            // this iteration's stats.  The storage is per-node vectors, or
+            // the lane arena on the plaintext scale path — the event loop
+            // consumes identical draws either way.
+            let (labels, sum_phase) = if use_arena {
+                let packer = packing.as_ref().expect("plaintext backends require lane packing");
+                let blocks = packer.ciphertexts_for(entries);
+                let layout = packer.layout();
+                let value_bits = layout.lanes as u64 * layout.lane_bits;
+                let limbs_per_unit = value_bits.div_ceil(64) as usize + 1;
+                let mut labels = Vec::with_capacity(population);
+                let mut arena = EesUnitArena::new(population, 2 * blocks + 1, limbs_per_unit);
+                let series_all = data.series();
+                let mut start = 0usize;
+                while start < population {
+                    let end = (start + ARENA_FILL_CHUNK).min(population);
+                    let chunk: Vec<(usize, Vec<B::Unit>)> =
+                        pool.map(&series_all[start..end], |offset, series| device(start + offset, series));
+                    for (offset, (assigned, units)) in chunk.into_iter().enumerate() {
+                        labels.push(assigned);
+                        for (u, unit) in units.iter().enumerate() {
+                            arena.set_unit(
+                                start + offset,
+                                u,
+                                &backend.plaintext_of(unit).to_u64_digits(),
+                            );
+                        }
+                    }
+                    start = end;
+                }
+                let NetworkModel::Async(config) = &params.network else {
+                    unreachable!("the arena path is only selected under the async model")
+                };
+                let (arena, metrics, sim_time, sim) =
+                    run_async_phase(config, arena, churn, &EesSumProtocol, exchanges, rng);
+                (labels, SumPhase::<B>::Arena { arena, metrics, sim_time, peak_in_flight: sim.peak_in_flight })
+            } else {
+                let contributions: Vec<(usize, Vec<B::Unit>)> =
+                    pool.map(data.series(), |i, series| device(i, series));
+                let mut labels = Vec::with_capacity(population);
+                let mut contribution_vectors = Vec::with_capacity(population);
+                for (assigned, units) in contributions {
+                    labels.push(assigned);
+                    contribution_vectors.push(BackendVector::new(backend.clone(), units));
+                }
+                let phase = run_phase(
+                    &params.network,
+                    eesum_initial_states(contribution_vectors),
+                    churn,
+                    &EesSumProtocol,
+                    exchanges,
+                    rng,
+                );
+                (labels, SumPhase::PerNode(phase))
+            };
+            audit.record_n(iteration, "encrypted means contribution", DataClass::Encrypted, population);
+            audit.record_n(iteration, "encrypted noise shares", DataClass::Encrypted, population);
+            audit.record_n(
+                iteration,
+                "epidemic weight and exchange counter",
+                DataClass::DataIndependent,
+                population,
+            );
+
+            let counter_values = vec![1.0; population];
+            let counter_phase = run_phase(
+                &params.network,
+                sum_initial_states(&counter_values),
+                churn,
+                &PushPullSum,
+                exchanges,
+                rng,
+            );
+            audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
 
             // Reporting-only PRE metrics (never exchanged between devices).
             let assignment = assignment_from_labels(&labels, k);
@@ -436,42 +587,14 @@ impl<'a> DistributedRun<'a> {
                 .collect();
             let pre_inertia = intra_inertia(data, &exact_means, &assignment);
 
-            // --- Computation step (a): epidemic encrypted sums + counter. ---
-            // Both phases dispatch on `params.network`: the round engine
-            // (same RNG draws as driving it directly) or the event-driven
-            // asynchronous engine, whose wall-clock latency shows up in
-            // this iteration's stats.
-            let sum_phase = run_phase(
-                &params.network,
-                eesum_initial_states(contribution_vectors),
-                churn,
-                &EesSumProtocol,
-                exchanges,
-                rng,
-            );
-            let counter_values = vec![1.0; population];
-            let counter_phase = run_phase(
-                &params.network,
-                sum_initial_states(&counter_values),
-                churn,
-                &PushPullSum,
-                exchanges,
-                rng,
-            );
-            audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
-
             // Reference participant: the single node that reads out the
             // aggregates.  Counter estimate and perturbed sums MUST come
             // from the same device — mixing two nodes' views can pair a
             // counter that saw the weight with sums that did not (or vice
             // versa) and mis-size the surplus correction.
-            let reference = sum_phase
-                .nodes
-                .iter()
-                .zip(&counter_phase.nodes)
-                .position(|(sum, counter)| sum.weight > 0.0 && counter.estimate().is_some())
+            let reference = (0..population)
+                .position(|i| sum_phase.weight(i) > 0.0 && counter_phase.nodes[i].estimate().is_some())
                 .expect("after the epidemic sums at least one node holds both weights");
-            let reference_state = &sum_phase.nodes[reference];
             let counter_estimate = counter_phase.nodes[reference]
                 .estimate()
                 .expect("reference node was selected for holding a counter estimate");
@@ -509,7 +632,7 @@ impl<'a> DistributedRun<'a> {
                 converged,
             );
             let dissemination_converged = dissemination_phase.converged;
-            audit.record(iteration, "noise correction proposal", DataClass::DataIndependent);
+            audit.record_n(iteration, "noise correction proposal", DataClass::DataIndependent, population);
             // The agreed-upon correction is the proposal with the globally
             // smallest identifier — the value dissemination converges to —
             // not whatever node 0 happens to hold (under churn an
@@ -525,49 +648,56 @@ impl<'a> DistributedRun<'a> {
             };
 
             // --- Computation step (c): perturbation and threshold decryption. ---
-            let weight = reference_state.weight;
-            let tau = params.key_share_threshold;
-            // Each ciphertext is independent: one homomorphic add of the
-            // means part and the noise part (same epidemic scaling because
-            // they travelled in the same vector), τ partial decryptions, one
-            // combine.  No randomness is involved, so the parallel map is
-            // trivially deterministic.
-            let threshold_decrypt = |ciphertext: &Ciphertext| -> BigUint {
-                let partials: Vec<PartialDecryption> = participants[..tau]
-                    .iter()
-                    .map(|p| p.key_share.partial_decrypt(&public_key, ciphertext))
-                    .collect();
-                combine(&public_key, &partials, tau, population)
-                    .expect("threshold decryption with exactly tau distinct shares")
-            };
-            let decrypted: Vec<f64> = if let Some(packer) = &packing {
-                // Packed: ⌈entries/L⌉ perturbed data ciphertexts plus the
-                // counter — an ~L× cut in threshold decryptions.  The
-                // counter recovers the accumulated bias (2·B·C: means and
-                // noise are both biased) and feeds the overflow guard.
-                let blocks = packer.ciphertexts_for(entries);
-                let cts = reference_state.value.ciphertexts();
-                let plaintexts: Vec<BigUint> = pool.map_range(blocks + 1, |i| {
-                    if i < blocks {
-                        threshold_decrypt(&public_key.add(&cts[i], &cts[blocks + i]))
-                    } else {
-                        threshold_decrypt(&cts[2 * blocks])
-                    }
-                });
-                let counter = &plaintexts[blocks];
-                packer
-                    .unpack(&plaintexts[..blocks], entries, counter, 2)
-                    .iter()
-                    .map(|v| v / weight)
-                    .collect()
-            } else {
-                pool.map_range(entries, |i| {
-                    let perturbed = public_key.add(
-                        &reference_state.value.ciphertexts()[i],
-                        &reference_state.value.ciphertexts()[entries + i],
-                    );
-                    encoder.decode(&threshold_decrypt(&perturbed), &public_key) / weight
-                })
+            let weight = sum_phase.weight(reference);
+            // Each unit is independent: one homomorphic add of the means
+            // part and the noise part (same epidemic scaling because they
+            // travelled in the same vector), then one threshold decryption.
+            // No randomness is involved, so the parallel map is trivially
+            // deterministic.
+            let decrypted: Vec<f64> = match (&sum_phase, &packing) {
+                (SumPhase::Arena { arena, .. }, Some(packer)) => {
+                    // The arena carries the plaintext lane integers by
+                    // construction, so "threshold decryption" is exactly
+                    // the identity read the surrogate backend performs.
+                    let blocks = packer.ciphertexts_for(entries);
+                    let unit_of = |u: usize| biguint_from_limbs(arena.unit_limbs(reference, u));
+                    let plaintexts: Vec<BigUint> =
+                        (0..blocks).map(|b| unit_of(b) + unit_of(blocks + b)).collect();
+                    let counter = unit_of(2 * blocks);
+                    packer.unpack(&plaintexts, entries, &counter, 2).iter().map(|v| v / weight).collect()
+                }
+                (SumPhase::PerNode(phase), Some(packer)) => {
+                    // Packed: ⌈entries/L⌉ perturbed data units plus the
+                    // counter — an ~L× cut in threshold decryptions.  The
+                    // counter recovers the accumulated bias (2·B·C: means
+                    // and noise are both biased) and feeds the overflow
+                    // guard.
+                    let blocks = packer.ciphertexts_for(entries);
+                    let cts = phase.nodes[reference].value.units();
+                    let plaintexts: Vec<BigUint> = pool.map_range(blocks + 1, |i| {
+                        if i < blocks {
+                            backend.threshold_decrypt(&backend.add(&cts[i], &cts[blocks + i]))
+                        } else {
+                            backend.threshold_decrypt(&cts[2 * blocks])
+                        }
+                    });
+                    let counter = &plaintexts[blocks];
+                    packer
+                        .unpack(&plaintexts[..blocks], entries, counter, 2)
+                        .iter()
+                        .map(|v| v / weight)
+                        .collect()
+                }
+                (SumPhase::PerNode(phase), None) => {
+                    let cts = phase.nodes[reference].value.units();
+                    pool.map_range(entries, |i| {
+                        let perturbed = backend.add(&cts[i], &cts[entries + i]);
+                        backend.decode(&encoder, &backend.threshold_decrypt(&perturbed)) / weight
+                    })
+                }
+                (SumPhase::Arena { .. }, None) => {
+                    unreachable!("the arena path requires lane packing")
+                }
             };
             audit.record(iteration, "partial decryptions of perturbed means", DataClass::DifferentiallyPrivate);
 
@@ -607,18 +737,19 @@ impl<'a> DistributedRun<'a> {
             });
             network.push(IterationNetworkStats {
                 iteration,
-                sum_messages_per_node: sum_phase.metrics.messages_per_node(population)
+                sum_messages_per_node: sum_phase.metrics().messages_per_node(population)
                     + counter_phase.metrics.messages_per_node(population),
                 dissemination_messages_per_node: dissemination_phase.metrics.messages_per_node(population),
-                sum_rounds: sum_phase.metrics.rounds(),
+                sum_rounds: sum_phase.metrics().rounds(),
                 dissemination_converged,
                 noise_share_deficit,
                 sum_payload_ciphertexts,
-                gossip_sim_time: sum_phase.sim_time
+                sum_payload_bytes,
+                gossip_sim_time: sum_phase.sim_time()
                     + counter_phase.sim_time
                     + dissemination_phase.sim_time,
                 peak_messages_in_flight: sum_phase
-                    .peak_in_flight
+                    .peak_in_flight()
                     .max(counter_phase.peak_in_flight)
                     .max(dissemination_phase.peak_in_flight),
             });
@@ -643,6 +774,56 @@ impl<'a> DistributedRun<'a> {
             network,
         }
     }
+}
+
+/// The epidemic-sum phase outcome in whichever storage ran it: per-node
+/// states (encrypted backends, round-based runs) or the struct-of-arrays
+/// lane arena (plaintext backends under the asynchronous model).
+enum SumPhase<B: CipherBackend> {
+    /// Per-node `EesState` vector, as produced by `run_phase`.
+    PerNode(PhaseOutcome<EesState<BackendVector<B>>>),
+    /// The lane arena plus the accounting `run_phase` would have reported.
+    Arena {
+        arena: EesUnitArena,
+        metrics: ExchangeMetrics,
+        sim_time: f64,
+        peak_in_flight: usize,
+    },
+}
+
+impl<B: CipherBackend> SumPhase<B> {
+    fn weight(&self, node: usize) -> f64 {
+        match self {
+            SumPhase::PerNode(phase) => phase.nodes[node].weight,
+            SumPhase::Arena { arena, .. } => arena.weight(node),
+        }
+    }
+
+    fn metrics(&self) -> &ExchangeMetrics {
+        match self {
+            SumPhase::PerNode(phase) => &phase.metrics,
+            SumPhase::Arena { metrics, .. } => metrics,
+        }
+    }
+
+    fn sim_time(&self) -> f64 {
+        match self {
+            SumPhase::PerNode(phase) => phase.sim_time,
+            SumPhase::Arena { sim_time, .. } => *sim_time,
+        }
+    }
+
+    fn peak_in_flight(&self) -> usize {
+        match self {
+            SumPhase::PerNode(phase) => phase.peak_in_flight,
+            SumPhase::Arena { peak_in_flight, .. } => *peak_in_flight,
+        }
+    }
+}
+
+/// Rebuilds a big integer from the little-endian limbs of an arena unit.
+fn biguint_from_limbs(limbs: &[u64]) -> BigUint {
+    limbs.iter().rev().fold(BigUint::from(0u32), |acc, &limb| (acc << 64u32) + BigUint::from(limb))
 }
 
 /// Builds an [`Assignment`] from per-participant labels.
@@ -670,6 +851,7 @@ pub fn diptych_wire_kilobytes(public_key: &PublicKey, k: usize, series_length: u
 mod tests {
     use super::*;
     use crate::config::ChiaroscuroParams;
+    use chiaroscuro_crypto::backend::PlaintextSurrogate;
     use chiaroscuro_dp::budget::BudgetStrategy;
     use chiaroscuro_timeseries::datasets::{cer::CerLikeGenerator, DatasetGenerator};
     use chiaroscuro_timeseries::ValueRange;
@@ -739,6 +921,8 @@ mod tests {
         for stats in &outcome.network {
             assert!(stats.sum_messages_per_node > 0.0);
             assert!(stats.sum_rounds > 0);
+            assert!(stats.sum_payload_bytes > 0, "the payload byte model must be populated");
+            assert_eq!(stats.sum_payload_bytes % stats.sum_payload_ciphertexts, 0);
         }
     }
 
@@ -830,9 +1014,9 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_runs_are_bit_exact() {
-        // The tentpole determinism contract: same seed, any pool size ->
-        // identical ciphertext randomness, hence identical decrypted
-        // centroids, audit trail and network stats.
+        // The determinism contract: same seed, any pool size -> identical
+        // ciphertext randomness, hence identical decrypted centroids, audit
+        // trail and network stats.
         let data = tiny_dataset(16);
         let serial = {
             let mut params = tiny_params(2, 2);
@@ -855,7 +1039,7 @@ mod tests {
 
     #[test]
     fn lane_packed_and_legacy_runs_are_bit_exact() {
-        // The tentpole contract: packing changes how many ciphertexts carry
+        // The packing contract: packing changes how many ciphertexts carry
         // the data, never a single decoded bit.  Same seed -> identical
         // centroids, and the packed gossip payload is a fraction of legacy.
         let data = tiny_dataset(16);
@@ -932,6 +1116,86 @@ mod tests {
         let b_values: Vec<Vec<f64>> = b.centroids().iter().map(|c| c.values().to_vec()).collect();
         assert_eq!(a_values, b_values, "packed churny runs must stay deterministic");
         assert!(a.network[0].sum_payload_ciphertexts < 2 * 2 * (4 + 1));
+    }
+
+    #[test]
+    fn surrogate_backend_decodes_the_same_centroids_as_the_crypto_backend() {
+        // The tentpole contract: the plaintext surrogate replays the crypto
+        // run's RNG draws and carries the exact plaintext sums, so from the
+        // same seed the decoded centroids are bit-identical and every
+        // message/exchange statistic matches; only the payload *bytes*
+        // differ (the surrogate reports the honest plaintext size).
+        let data = tiny_dataset(16);
+        let make_params = || {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.lane_packing = true;
+            params
+        };
+        let crypto = DistributedRun::new(make_params(), &data).execute(47);
+        let surrogate =
+            DistributedRun::<PlaintextSurrogate>::with_backend(make_params(), &data).execute(47);
+        let crypto_values: Vec<Vec<f64>> =
+            crypto.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let surrogate_values: Vec<Vec<f64>> =
+            surrogate.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(crypto_values, surrogate_values, "backends must decode identical centroids");
+        assert_eq!(crypto.report.num_iterations(), surrogate.report.num_iterations());
+        assert_eq!(crypto.audit.events().len(), surrogate.audit.events().len());
+        for (c, s) in crypto.network.iter().zip(surrogate.network.iter()) {
+            assert_eq!(c.sum_messages_per_node, s.sum_messages_per_node);
+            assert_eq!(c.sum_rounds, s.sum_rounds);
+            assert_eq!(c.sum_payload_ciphertexts, s.sum_payload_ciphertexts);
+            assert!(
+                s.sum_payload_bytes < c.sum_payload_bytes,
+                "the surrogate must report the smaller, honest plaintext payload \
+                 ({} vs {} bytes)",
+                s.sum_payload_bytes,
+                c.sum_payload_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_arena_path_matches_the_crypto_backend_under_async_delivery() {
+        use chiaroscuro_gossip::sim::{AsyncNetworkConfig, LatencyModel, NetworkModel};
+        // Under the async model the surrogate's EESum runs on the
+        // struct-of-arrays lane arena; the crypto run uses per-node
+        // ciphertext vectors.  Identical RNG streams + exact limb
+        // arithmetic => bit-identical centroids and network accounting.
+        let data = tiny_dataset(16);
+        let make_params = || {
+            let mut params = tiny_params(2, 2);
+            params.exchanges_override = Some(8);
+            params.lane_packing = true;
+            params.network = NetworkModel::Async(
+                AsyncNetworkConfig::default()
+                    .with_latency(LatencyModel::LogNormal { median: 0.3, sigma: 0.5 }),
+            );
+            params
+        };
+        let crypto = DistributedRun::new(make_params(), &data).execute(53);
+        let surrogate =
+            DistributedRun::<PlaintextSurrogate>::with_backend(make_params(), &data).execute(53);
+        let crypto_values: Vec<Vec<f64>> =
+            crypto.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let surrogate_values: Vec<Vec<f64>> =
+            surrogate.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(crypto_values, surrogate_values, "the arena path must not change a bit");
+        for (c, s) in crypto.network.iter().zip(surrogate.network.iter()) {
+            assert_eq!(c.sum_messages_per_node, s.sum_messages_per_node);
+            assert_eq!(c.gossip_sim_time, s.gossip_sim_time);
+            assert_eq!(c.peak_messages_in_flight, s.peak_messages_in_flight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires lane_packing")]
+    fn surrogate_without_lane_packing_is_rejected() {
+        let data = tiny_dataset(16);
+        let mut params = tiny_params(2, 1);
+        params.lane_packing = false;
+        let _ = DistributedRun::<PlaintextSurrogate>::with_backend(params, &data);
     }
 
     #[test]

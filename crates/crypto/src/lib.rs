@@ -26,7 +26,12 @@
 //! * [`packing`] — the lane-packed vector encoding: many fixed-point
 //!   coordinates per plaintext in disjoint bit-lanes, with a validated
 //!   overflow contract (cuts ciphertext counts by the lane factor);
-//! * [`wire`] — the ciphertext wire-size model used by the bandwidth figures.
+//! * [`wire`] — the ciphertext wire-size model used by the bandwidth figures;
+//! * [`backend`] — the pluggable [`backend::CipherBackend`] abstraction over
+//!   everything the protocol does with ciphertexts, with the real
+//!   [`backend::DamgardJurik`] scheme and the exact
+//!   [`backend::PlaintextSurrogate`] that lets million-node protocol
+//!   simulations skip the modular arithmetic.
 //!
 //! # Security caveat
 //!
@@ -39,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arith;
+pub mod backend;
 pub mod encoding;
 pub mod keys;
 pub mod packing;
@@ -47,6 +53,7 @@ pub mod scheme;
 pub mod threshold;
 pub mod wire;
 
+pub use backend::{BackendSetup, CipherBackend, DamgardJurik, PlaintextSurrogate};
 pub use encoding::FixedPointEncoder;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use packing::{LaneBudget, PackedEncoder, PackedLayout, PackingError};
@@ -55,6 +62,7 @@ pub use threshold::{KeyShare, PartialDecryption, ThresholdDealer};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::backend::{BackendSetup, CipherBackend, DamgardJurik, PlaintextSurrogate};
     pub use crate::encoding::FixedPointEncoder;
     pub use crate::keys::{KeyPair, PublicKey, SecretKey};
     pub use crate::packing::{LaneBudget, PackedEncoder, PackedLayout, PackingError};

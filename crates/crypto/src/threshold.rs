@@ -116,15 +116,26 @@ impl ThresholdDealer {
         self.num_shares
     }
 
-    /// Deals the key-shares: a random polynomial `f` of degree `τ − 1` with
-    /// `f(0) = d`, evaluated at `1..=ℓ` modulo `n^s·λ`.
-    pub fn deal<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<KeyShare> {
-        // Coefficients: a0 = d, a1..a_{τ-1} random.
+    /// Draws the sharing polynomial's coefficients: `a0 = d`, then `τ − 1`
+    /// uniform draws below the sharing modulus.
+    ///
+    /// This is the *only* randomness dealing consumes — share evaluation is
+    /// deterministic — so an RNG-parity surrogate (see
+    /// `crate::backend::PlaintextSurrogate`) can replay the exact dealing
+    /// draws without paying the population-sized evaluation.
+    pub fn draw_coefficients<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<BigUint> {
         let mut coefficients = Vec::with_capacity(self.threshold);
         coefficients.push(self.d.clone());
         for _ in 1..self.threshold {
             coefficients.push(rng.gen_biguint_below(&self.sharing_modulus));
         }
+        coefficients
+    }
+
+    /// Deals the key-shares: a random polynomial `f` of degree `τ − 1` with
+    /// `f(0) = d`, evaluated at `1..=ℓ` modulo `n^s·λ`.
+    pub fn deal<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<KeyShare> {
+        let coefficients = self.draw_coefficients(rng);
         (1..=self.num_shares)
             .map(|i| {
                 let x = BigUint::from(i);

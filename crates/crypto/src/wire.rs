@@ -58,14 +58,43 @@ impl MeansWireModel {
         measures_per_mean: usize,
         lanes: usize,
     ) -> Self {
-        assert!(lanes >= 1, "a ciphertext carries at least one coordinate");
+        Self::with_unit_bytes(pk.ciphertext_bytes(), num_means, measures_per_mean, Some(lanes))
+    }
+
+    /// Builds the model for whatever [`CipherBackend`](crate::backend::CipherBackend)
+    /// carries the set: `backend.unit_bytes()` is the honest per-unit wire
+    /// size — a ciphertext for the Damgård–Jurik backend, the packed
+    /// *plaintext* payload for the surrogate — so scale-mode network-load
+    /// numbers never report ciphertext expansion the run did not pay.
+    /// `lanes = None` models the legacy per-coordinate encoding.
+    pub fn for_backend<B: crate::backend::CipherBackend>(
+        backend: &B,
+        num_means: usize,
+        measures_per_mean: usize,
+        lanes: Option<usize>,
+    ) -> Self {
+        Self::with_unit_bytes(backend.unit_bytes(), num_means, measures_per_mean, lanes)
+    }
+
+    /// Builds the model from an explicit per-unit wire size.  `lanes = None`
+    /// is the legacy per-coordinate encoding (no counter unit); `Some(L)`
+    /// packs `L` coordinates per unit plus one counter unit.
+    pub fn with_unit_bytes(
+        unit_bytes: usize,
+        num_means: usize,
+        measures_per_mean: usize,
+        lanes: Option<usize>,
+    ) -> Self {
+        if let Some(lanes) = lanes {
+            assert!(lanes >= 1, "a ciphertext carries at least one coordinate");
+        }
         Self {
             num_means,
             measures_per_mean,
-            ciphertext_bytes: pk.ciphertext_bytes(),
+            ciphertext_bytes: unit_bytes,
             cleartext_bytes_per_mean: 16,
-            lanes_per_ciphertext: lanes,
-            counter_ciphertexts: 1,
+            lanes_per_ciphertext: lanes.unwrap_or(1),
+            counter_ciphertexts: usize::from(lanes.is_some()),
         }
     }
 

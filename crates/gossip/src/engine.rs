@@ -20,6 +20,44 @@ pub trait PairwiseProtocol<N> {
     fn exchange(&self, initiator: &mut N, contact: &mut N);
 }
 
+/// Population-sized storage of per-node protocol states.
+///
+/// The engines only ever need two things from their storage: the population
+/// size and the ability to apply one exchange between two indices
+/// ([`ProtocolStore`]).  Abstracting storage behind these traits lets the
+/// same event loop drive either the natural `Vec<N>` array-of-structs
+/// layout or a struct-of-arrays arena
+/// ([`EesUnitArena`](crate::sim::arena::EesUnitArena)) whose million-node
+/// footprint is a handful of flat allocations.
+pub trait StateStore {
+    /// Number of nodes held.
+    fn population(&self) -> usize;
+}
+
+/// Storage that can apply one pairwise protocol exchange in place.
+///
+/// `Vec<N>` implements this for every [`PairwiseProtocol`] (the exchange
+/// borrows the two states with [`pair_mut`]); arena storages implement the
+/// specific protocols their layout encodes.
+pub trait ProtocolStore<P>: StateStore {
+    /// Applies one atomic push-pull exchange between `initiator` and
+    /// `contact` (distinct, in-bounds indices).
+    fn apply_exchange(&mut self, protocol: &P, initiator: usize, contact: usize);
+}
+
+impl<N> StateStore for Vec<N> {
+    fn population(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<N, P: PairwiseProtocol<N>> ProtocolStore<P> for Vec<N> {
+    fn apply_exchange(&mut self, protocol: &P, initiator: usize, contact: usize) {
+        let (a, b) = pair_mut(self, initiator, contact);
+        protocol.exchange(a, b);
+    }
+}
+
 /// The round-based engine driving one protocol over a population of nodes.
 #[derive(Debug, Clone)]
 pub struct GossipEngine<N> {

@@ -1,0 +1,381 @@
+//! Struct-of-arrays arena storage for million-node EESum populations.
+//!
+//! The natural per-node representation of an EESum state —
+//! `EesState<V>` holding a `Vec` of big integers — costs several heap
+//! allocations *per node*: at 10⁶ nodes that is tens of millions of small
+//! allocations, pointer-chasing on every exchange, and an allocator-
+//! dominated footprint.  [`EesUnitArena`] stores the same information in
+//! four flat arrays (one `u64` limb slab plus parallel weight and
+//! exchange-counter arrays), so the entire population lives in O(1)
+//! allocations and an exchange touches two contiguous limb windows.
+//!
+//! The arena implements
+//! [`ProtocolStore<EesSumProtocol>`](crate::engine::ProtocolStore) with the
+//! **exact** Algorithm-2 update rule the per-node
+//! [`EesState`](crate::eesum::EesState) implementation applies: scale the
+//! lagging peer by `2^Δn` (a limb shift), add the values (limb-wise integer
+//! addition — lane-packed payloads are plain non-negative integers, see
+//! `chiaroscuro_crypto::packing`), sum the weights, bump the exchange
+//! counter, and copy the combined state to the contact.  A lockstep test
+//! pins bit-equality with the `Vec<EesState<_>>` path under a shared random
+//! schedule.
+//!
+//! Each node holds `units_per_node` fixed-width *units* (the lane-packed
+//! data blocks plus the overflow-counter block of one gossip contribution)
+//! of `limbs_per_unit` little-endian 64-bit limbs.  The width is sized by
+//! the caller from the planned lane layout; a shift or addition that would
+//! carry out of a unit window panics loudly (the epidemic exceeded its
+//! doubling budget) instead of corrupting a neighbouring unit.
+
+use crate::eesum::EesSumProtocol;
+use crate::engine::{ProtocolStore, StateStore};
+
+/// Flat struct-of-arrays storage of per-node EESum states over fixed-width
+/// multi-limb integer units.
+#[derive(Debug, Clone)]
+pub struct EesUnitArena {
+    population: usize,
+    units_per_node: usize,
+    limbs_per_unit: usize,
+    /// `population × units_per_node × limbs_per_unit` little-endian limbs.
+    limbs: Vec<u64>,
+    /// The scaled epidemic weight `ω · 2^n` of each node.
+    weights: Vec<f64>,
+    /// The exchange counter `n` of each node.
+    exchanges: Vec<u32>,
+}
+
+impl EesUnitArena {
+    /// Creates a zeroed arena for `population` nodes of `units_per_node`
+    /// units of `limbs_per_unit` limbs each.  Node 0 seeds the epidemic
+    /// weight with 1, exactly as [`crate::eesum::initial_states`] does.
+    ///
+    /// # Panics
+    /// Panics on a degenerate shape (fewer than two nodes, zero units or
+    /// zero limbs).
+    pub fn new(population: usize, units_per_node: usize, limbs_per_unit: usize) -> Self {
+        assert!(population >= 2, "gossip needs at least two participants");
+        assert!(units_per_node >= 1, "a node carries at least one unit");
+        assert!(limbs_per_unit >= 1, "a unit needs at least one limb");
+        let mut weights = vec![0.0; population];
+        weights[0] = 1.0;
+        Self {
+            population,
+            units_per_node,
+            limbs_per_unit,
+            limbs: vec![0u64; population * units_per_node * limbs_per_unit],
+            weights,
+            exchanges: vec![0u32; population],
+        }
+    }
+
+    /// Units per node.
+    pub fn units_per_node(&self) -> usize {
+        self.units_per_node
+    }
+
+    /// Limbs per unit.
+    pub fn limbs_per_unit(&self) -> usize {
+        self.limbs_per_unit
+    }
+
+    /// Writes one unit of one node from little-endian limbs (shorter slices
+    /// are zero-extended).
+    ///
+    /// # Panics
+    /// Panics if the limbs do not fit the unit width or the indices are out
+    /// of bounds.
+    pub fn set_unit(&mut self, node: usize, unit: usize, limbs_le: &[u64]) {
+        assert!(
+            limbs_le.len() <= self.limbs_per_unit,
+            "unit value of {} limbs exceeds the arena's {}-limb unit width",
+            limbs_le.len(),
+            self.limbs_per_unit
+        );
+        let start = self.unit_offset(node, unit);
+        self.limbs[start..start + limbs_le.len()].copy_from_slice(limbs_le);
+        self.limbs[start + limbs_le.len()..start + self.limbs_per_unit].fill(0);
+    }
+
+    /// The little-endian limbs of one unit of one node.
+    pub fn unit_limbs(&self, node: usize, unit: usize) -> &[u64] {
+        let start = self.unit_offset(node, unit);
+        &self.limbs[start..start + self.limbs_per_unit]
+    }
+
+    /// The scaled epidemic weight `ω · 2^n` of a node.
+    pub fn weight(&self, node: usize) -> f64 {
+        self.weights[node]
+    }
+
+    /// The exchange counter of a node.
+    pub fn exchange_counter(&self, node: usize) -> u32 {
+        self.exchanges[node]
+    }
+
+    fn unit_offset(&self, node: usize, unit: usize) -> usize {
+        assert!(node < self.population, "node {node} out of {}", self.population);
+        assert!(unit < self.units_per_node, "unit {unit} out of {}", self.units_per_node);
+        (node * self.units_per_node + unit) * self.limbs_per_unit
+    }
+
+    fn node_range(&self, node: usize) -> std::ops::Range<usize> {
+        let stride = self.units_per_node * self.limbs_per_unit;
+        node * stride..(node + 1) * stride
+    }
+
+    /// Scales every unit of `node` by `2^diff` (limb shift), panicking if
+    /// any unit would shift set bits out of its window — that is the
+    /// epidemic exceeding the doubling budget the lane plan promised, and
+    /// silently dropping bits would corrupt the decoded sums.
+    fn scale_node(&mut self, node: usize, diff: u32) {
+        let limbs_per_unit = self.limbs_per_unit;
+        let limb_shift = (diff / 64) as usize;
+        let bit_shift = diff % 64;
+        let range = self.node_range(node);
+        for unit in self.limbs[range].chunks_exact_mut(limbs_per_unit) {
+            // Check the top `diff` bits of the window are clear.
+            for (index, &limb) in unit.iter().enumerate().rev() {
+                if limb == 0 {
+                    continue;
+                }
+                let top_bit = index as u64 * 64 + (64 - limb.leading_zeros() as u64);
+                assert!(
+                    top_bit + u64::from(diff) <= limbs_per_unit as u64 * 64,
+                    "EESum doubling budget exceeded: scaling by 2^{diff} would overflow a \
+                     {limbs_per_unit}-limb arena unit (value uses {top_bit} bits)"
+                );
+                break;
+            }
+            // Word-granularity move, highest limb first.
+            if limb_shift > 0 {
+                for i in (0..limbs_per_unit).rev() {
+                    unit[i] = if i >= limb_shift { unit[i - limb_shift] } else { 0 };
+                }
+            }
+            if bit_shift > 0 {
+                let mut carry = 0u64;
+                for limb in unit.iter_mut() {
+                    let new_carry = *limb >> (64 - bit_shift);
+                    *limb = (*limb << bit_shift) | carry;
+                    carry = new_carry;
+                }
+                debug_assert_eq!(carry, 0, "carry-out already excluded by the bit check");
+            }
+        }
+    }
+
+    /// Adds every unit of `src` into the matching unit of `dst`, panicking
+    /// on a carry out of a unit window.
+    fn add_node(&mut self, dst: usize, src: usize) {
+        let limbs_per_unit = self.limbs_per_unit;
+        let stride = self.units_per_node * limbs_per_unit;
+        // Borrow the two disjoint node windows once, so the hot limb loop
+        // runs over slices (no per-limb bounds checks or offset math).
+        let (dst_window, src_window) = if dst < src {
+            let (left, right) = self.limbs.split_at_mut(src * stride);
+            (&mut left[dst * stride..(dst + 1) * stride], &right[..stride])
+        } else {
+            let (left, right) = self.limbs.split_at_mut(dst * stride);
+            (&mut right[..stride], &left[src * stride..(src + 1) * stride])
+        };
+        for (d_unit, s_unit) in
+            dst_window.chunks_exact_mut(limbs_per_unit).zip(src_window.chunks_exact(limbs_per_unit))
+        {
+            let mut carry = 0u128;
+            for (d, &s) in d_unit.iter_mut().zip(s_unit.iter()) {
+                let sum = u128::from(*d) + u128::from(s) + carry;
+                *d = sum as u64;
+                carry = sum >> 64;
+            }
+            assert_eq!(
+                carry, 0,
+                "EESum accumulation overflowed a {limbs_per_unit}-limb arena unit: the \
+                 epidemic exceeded the planned lane capacity"
+            );
+        }
+    }
+
+    /// Copies every unit of `src` over `dst`.
+    fn copy_node(&mut self, dst: usize, src: usize) {
+        let src_range = self.node_range(src);
+        let dst_start = self.node_range(dst).start;
+        self.limbs.copy_within(src_range, dst_start);
+    }
+}
+
+impl StateStore for EesUnitArena {
+    fn population(&self) -> usize {
+        self.population
+    }
+}
+
+impl ProtocolStore<EesSumProtocol> for EesUnitArena {
+    fn apply_exchange(&mut self, _protocol: &EesSumProtocol, initiator: usize, contact: usize) {
+        assert_ne!(initiator, contact, "cannot exchange a node with itself");
+        // Lines 1–5 of Algorithm 2: scale the lagging state to the common
+        // exchange count (identical to EesState::scale_to).
+        let target = self.exchanges[initiator].max(self.exchanges[contact]);
+        for node in [initiator, contact] {
+            let diff = target - self.exchanges[node];
+            if diff > 0 {
+                self.scale_node(node, diff);
+                self.weights[node] *= 2f64.powi(diff as i32);
+            }
+        }
+        // Line 6: combine into the initiator, bump the counter, and mirror
+        // the combined state onto the contact (push-pull symmetry).
+        self.add_node(initiator, contact);
+        self.weights[initiator] += self.weights[contact];
+        self.exchanges[initiator] = target + 1;
+        self.copy_node(contact, initiator);
+        self.weights[contact] = self.weights[initiator];
+        self.exchanges[contact] = self.exchanges[initiator];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eesum::{initial_states, EesState, EpidemicValue};
+    use crate::engine::ProtocolStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A reference epidemic value over u128 "units" (two limbs each) that
+    /// the per-node Vec path can drive for lockstep comparison.
+    #[derive(Debug, Clone, PartialEq)]
+    struct WideVector(Vec<u128>);
+
+    impl EpidemicValue for WideVector {
+        fn scale_pow2(&mut self, exponent: u32) {
+            for v in &mut self.0 {
+                *v = v.checked_shl(exponent).expect("test values stay in range");
+            }
+        }
+
+        fn add_assign(&mut self, other: &Self) {
+            for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    fn arena_from(values: &[WideVector], limbs_per_unit: usize) -> EesUnitArena {
+        let units = values[0].0.len();
+        let mut arena = EesUnitArena::new(values.len(), units, limbs_per_unit);
+        for (node, v) in values.iter().enumerate() {
+            for (unit, &x) in v.0.iter().enumerate() {
+                arena.set_unit(node, unit, &[x as u64, (x >> 64) as u64]);
+            }
+        }
+        arena
+    }
+
+    fn arena_unit_u128(arena: &EesUnitArena, node: usize, unit: usize) -> u128 {
+        let limbs = arena.unit_limbs(node, unit);
+        for &l in limbs.iter().skip(2) {
+            assert_eq!(l, 0, "test value exceeds the u128 comparison range");
+        }
+        u128::from(limbs[0]) | (u128::from(*limbs.get(1).unwrap_or(&0)) << 64)
+    }
+
+    #[test]
+    fn arena_exchange_is_in_lockstep_with_the_per_node_states() {
+        // The load-bearing equivalence: a shared random exchange schedule
+        // must leave the arena and the Vec<EesState<_>> path bit-identical
+        // in values, weights and exchange counters.
+        let population = 24;
+        let values: Vec<WideVector> =
+            (0..population).map(|i| WideVector(vec![i as u128 + 1, 1000 + i as u128])).collect();
+        let mut vec_states: Vec<EesState<WideVector>> = initial_states(values.clone());
+        let mut arena = arena_from(&values, 3);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..400 {
+            let i = rng.gen_range(0..population);
+            let mut j = rng.gen_range(0..population - 1);
+            if j >= i {
+                j += 1;
+            }
+            vec_states.apply_exchange(&EesSumProtocol, i, j);
+            arena.apply_exchange(&EesSumProtocol, i, j);
+        }
+
+        for (node, state) in vec_states.iter().enumerate() {
+            assert_eq!(arena.weight(node), state.weight, "weight of node {node}");
+            assert_eq!(arena.exchange_counter(node), state.exchanges, "counter of node {node}");
+            for (unit, &expected) in state.value.0.iter().enumerate() {
+                assert_eq!(
+                    arena_unit_u128(&arena, node, unit),
+                    expected,
+                    "unit {unit} of node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_shifts_cross_word_boundaries_exactly() {
+        // Initiator 1 (value 1) has a 70-exchange head start, so contact 0
+        // must scale by 2^70 — a shift that crosses a whole limb boundary —
+        // before the addition.
+        let mut arena = EesUnitArena::new(2, 1, 3);
+        arena.set_unit(0, 0, &[0xDEAD_BEEF, 0, 0]);
+        arena.set_unit(1, 0, &[1, 0, 0]);
+        arena.exchanges[1] = 70;
+        let before = arena_unit_u128(&arena, 0, 0);
+        arena.apply_exchange(&EesSumProtocol, 1, 0);
+        let combined = arena_unit_u128(&arena, 0, 0);
+        assert_eq!(combined, arena_unit_u128(&arena, 1, 0), "push-pull symmetry");
+        assert_eq!(combined, 1u128 + (before << 70));
+        assert_eq!(arena.exchange_counter(0), 71);
+        assert_eq!(arena.exchange_counter(1), 71);
+    }
+
+    #[test]
+    #[should_panic(expected = "doubling budget exceeded")]
+    fn shift_overflow_panics_instead_of_corrupting_neighbouring_units() {
+        let mut arena = EesUnitArena::new(2, 2, 1);
+        arena.set_unit(0, 0, &[1u64 << 60]);
+        arena.exchanges[1] = 10; // forces node 0 to scale by 2^10 on exchange
+        arena.apply_exchange(&EesSumProtocol, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn addition_carry_out_panics() {
+        let mut arena = EesUnitArena::new(2, 1, 1);
+        arena.set_unit(0, 0, &[u64::MAX]);
+        arena.set_unit(1, 0, &[u64::MAX]);
+        arena.apply_exchange(&EesSumProtocol, 0, 1);
+    }
+
+    #[test]
+    fn weights_conserve_unscaled_mass() {
+        let values: Vec<WideVector> = (0..16).map(|i| WideVector(vec![i as u128])).collect();
+        let mut arena = arena_from(&values, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let i = rng.gen_range(0..16);
+            let mut j = rng.gen_range(0..15);
+            if j >= i {
+                j += 1;
+            }
+            arena.apply_exchange(&EesSumProtocol, i, j);
+        }
+        let total: f64 =
+            (0..16).map(|n| arena.weight(n) / 2f64.powi(arena.exchange_counter(n) as i32)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total unscaled weight = {total}");
+    }
+
+    #[test]
+    fn set_unit_zero_extends_shorter_values() {
+        let mut arena = EesUnitArena::new(2, 1, 4);
+        arena.set_unit(0, 0, &[7]);
+        assert_eq!(arena.unit_limbs(0, 0), &[7, 0, 0, 0]);
+        arena.set_unit(0, 0, &[1, 2, 3, 4]);
+        arena.set_unit(0, 0, &[9]);
+        assert_eq!(arena.unit_limbs(0, 0), &[9, 0, 0, 0], "stale high limbs must be cleared");
+    }
+}

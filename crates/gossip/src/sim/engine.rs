@@ -33,7 +33,7 @@
 use rand::Rng;
 
 use crate::churn::ChurnModel;
-use crate::engine::{pair_mut, PairwiseProtocol};
+use crate::engine::{PairwiseProtocol, ProtocolStore, StateStore};
 use crate::metrics::ExchangeMetrics;
 use crate::sim::latency::LatencyModel;
 use crate::sim::metrics::{ConvergenceTimes, SimMetrics};
@@ -68,6 +68,15 @@ pub struct AsyncNetworkConfig {
     pub synchronized_start: bool,
     /// Correlated downtime windows (crash/rejoin events).
     pub crash: CrashSchedule,
+    /// How often `run_until` evaluates its convergence predicate, in
+    /// simulated time: `0.0` (the default, and the historical behaviour)
+    /// checks after **every** applied exchange; a positive period checks at
+    /// most once per that much simulated time.  Whole-population predicates
+    /// are `O(population)` per evaluation, so per-exchange checking is
+    /// `O(population²)` per period — prohibitive at 100k+ nodes.  Throttling
+    /// consumes no RNG draws (the predicate is deterministic), so it only
+    /// moves the stopping time, never the event schedule.
+    pub convergence_check_period: f64,
 }
 
 impl Default for AsyncNetworkConfig {
@@ -80,6 +89,7 @@ impl Default for AsyncNetworkConfig {
             edge_salt: 0x1A7E_ECED,
             synchronized_start: false,
             crash: CrashSchedule::NONE,
+            convergence_check_period: 0.0,
         }
     }
 }
@@ -107,6 +117,11 @@ impl AsyncNetworkConfig {
             (0.0..1.0).contains(&self.edge_spread),
             "edge spread must be in [0, 1), got {}",
             self.edge_spread
+        );
+        assert!(
+            self.convergence_check_period.is_finite() && self.convergence_check_period >= 0.0,
+            "convergence check period must be finite and >= 0, got {}",
+            self.convergence_check_period
         );
     }
 
@@ -139,6 +154,13 @@ impl AsyncNetworkConfig {
         self.synchronized_start = synchronized_start;
         self
     }
+
+    /// Replaces the convergence-predicate check period (see
+    /// [`AsyncNetworkConfig::convergence_check_period`]).
+    pub fn with_convergence_check_period(mut self, period: f64) -> Self {
+        self.convergence_check_period = period;
+        self
+    }
 }
 
 /// The events the engine schedules.
@@ -158,9 +180,16 @@ enum EventKind {
 
 /// The deterministic event-driven engine driving one [`PairwiseProtocol`]
 /// over a population of nodes.
+///
+/// The per-node state storage is pluggable ([`StateStore`] /
+/// [`ProtocolStore`]): the natural `Vec<N>` array-of-structs layout, or a
+/// struct-of-arrays arena such as
+/// [`EesUnitArena`](crate::sim::arena::EesUnitArena) whose flat allocations
+/// let 100k–1M-node populations stream through the event queue.  The event
+/// loop is storage-agnostic and consumes identical RNG draws either way.
 #[derive(Debug, Clone)]
-pub struct AsyncGossipEngine<N> {
-    nodes: Vec<N>,
+pub struct AsyncGossipEngine<S> {
+    nodes: S,
     online: Vec<bool>,
     config: AsyncNetworkConfig,
     churn: ChurnModel,
@@ -177,16 +206,17 @@ pub struct AsyncGossipEngine<N> {
     started: bool,
 }
 
-impl<N> AsyncGossipEngine<N> {
-    /// Creates an engine over the given per-node states.
+impl<S: StateStore> AsyncGossipEngine<S> {
+    /// Creates an engine over the given per-node state storage (a `Vec` of
+    /// states, or an arena).
     ///
     /// # Panics
     /// Panics if fewer than two nodes are provided, the configuration is
     /// invalid, or a crash window names a node outside the population.
-    pub fn new(nodes: Vec<N>, config: AsyncNetworkConfig, churn: ChurnModel) -> Self {
-        assert!(nodes.len() >= 2, "gossip needs at least two participants");
+    pub fn new(nodes: S, config: AsyncNetworkConfig, churn: ChurnModel) -> Self {
+        assert!(nodes.population() >= 2, "gossip needs at least two participants");
         config.validate();
-        let population = nodes.len();
+        let population = nodes.population();
         let mut queue = EventQueue::new();
         for window in config.crash.windows() {
             assert!(window.node < population, "crash window names node {} of {population}", window.node);
@@ -212,16 +242,17 @@ impl<N> AsyncGossipEngine<N> {
 
     /// The population size.
     pub fn population(&self) -> usize {
-        self.nodes.len()
+        self.nodes.population()
     }
 
-    /// Immutable access to the node states.
-    pub fn nodes(&self) -> &[N] {
+    /// Immutable access to the node-state storage (a slice-like `Vec` for
+    /// per-node states, the arena itself for arena storage).
+    pub fn nodes(&self) -> &S {
         &self.nodes
     }
 
-    /// Mutable access to the node states.
-    pub fn nodes_mut(&mut self) -> &mut [N] {
+    /// Mutable access to the node-state storage.
+    pub fn nodes_mut(&mut self) -> &mut S {
         &mut self.nodes
     }
 
@@ -247,7 +278,7 @@ impl<N> AsyncGossipEngine<N> {
     }
 
     /// Consumes the engine, returning the node states and the accounting.
-    pub fn into_parts(self) -> (Vec<N>, ExchangeMetrics, SimMetrics) {
+    pub fn into_parts(self) -> (S, ExchangeMetrics, SimMetrics) {
         (self.nodes, self.metrics, self.sim)
     }
 
@@ -274,7 +305,7 @@ impl<N> AsyncGossipEngine<N> {
         }
         self.started = true;
         let period = self.config.exchange_period;
-        for node in 0..self.nodes.len() {
+        for node in 0..self.nodes.population() {
             let phase =
                 if self.config.synchronized_start { 0.0 } else { rng.gen::<f64>() * period };
             self.queue.push(phase, EventKind::Initiate { node });
@@ -291,19 +322,19 @@ impl<N> AsyncGossipEngine<N> {
     }
 }
 
-impl<N> AsyncGossipEngine<N> {
+impl<S: StateStore> AsyncGossipEngine<S> {
     /// The event loop: processes events up to `target`; `on_exchange` sees
     /// the population after every applied exchange (with the two touched
     /// indices and the exchange time) and returns `true` to stop early.
     /// Returns `true` if stopped early.
     fn drive<P, R, F>(&mut self, protocol: &P, target: f64, rng: &mut R, mut on_exchange: F) -> bool
     where
-        P: PairwiseProtocol<N>,
+        S: ProtocolStore<P>,
         R: Rng + ?Sized,
-        F: FnMut(&[N], usize, usize, f64) -> bool,
+        F: FnMut(&S, usize, usize, f64) -> bool,
     {
         self.ensure_started(rng);
-        let population = self.nodes.len();
+        let population = self.nodes.population();
         let loss = self.config.loss_probability;
         // The horizon is half-open: events at exactly `target` belong to
         // the next run call (so a budget of R periods fires exactly R
@@ -353,8 +384,7 @@ impl<N> AsyncGossipEngine<N> {
                         self.sim.record_lost();
                         continue;
                     }
-                    let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
-                    protocol.exchange(a, b);
+                    self.nodes.apply_exchange(protocol, initiator, contact);
                     self.metrics.record_exchange();
                     if on_exchange(&self.nodes, initiator, contact, time) {
                         self.record_periods_up_to(time);
@@ -374,7 +404,7 @@ impl<N> AsyncGossipEngine<N> {
     /// Advances the simulation by `duration` time units.
     pub fn run_for<P, R>(&mut self, protocol: &P, duration: f64, rng: &mut R)
     where
-        P: PairwiseProtocol<N>,
+        S: ProtocolStore<P>,
         R: Rng + ?Sized,
     {
         assert!(duration >= 0.0 && duration.is_finite());
@@ -384,24 +414,41 @@ impl<N> AsyncGossipEngine<N> {
 
     /// Advances the simulation until `done` holds over the node states or
     /// `duration` time units have elapsed; returns whether the predicate
-    /// was satisfied (it is checked up front and after every exchange).
+    /// was satisfied.  It is checked up front, after the horizon, and after
+    /// every exchange — or at most once per
+    /// [`AsyncNetworkConfig::convergence_check_period`] of simulated time
+    /// when that knob is positive (whole-population predicates are
+    /// `O(population)` per call, so per-exchange checking does not scale).
     pub fn run_until<P, R, F>(&mut self, protocol: &P, duration: f64, rng: &mut R, mut done: F) -> bool
     where
-        P: PairwiseProtocol<N>,
+        S: ProtocolStore<P>,
         R: Rng + ?Sized,
-        F: FnMut(&[N]) -> bool,
+        F: FnMut(&S) -> bool,
     {
         assert!(duration >= 0.0 && duration.is_finite());
         if done(&self.nodes) {
             return true;
         }
         let target = self.horizon + duration;
-        if self.drive(protocol, target, rng, |nodes, _, _, _| done(nodes)) {
+        let period = self.config.convergence_check_period;
+        let mut next_check = self.horizon + period;
+        let stopped = self.drive(protocol, target, rng, |nodes, _, _, time| {
+            if period > 0.0 {
+                if time < next_check {
+                    return false;
+                }
+                next_check = time + period;
+            }
+            done(nodes)
+        });
+        if stopped {
             return true;
         }
         done(&self.nodes)
     }
+}
 
+impl<N> AsyncGossipEngine<Vec<N>> {
     /// Advances the simulation by `duration` while tracking, per node, the
     /// start of its final stretch of satisfying `node_done` — the wall-clock
     /// convergence times behind the latency percentiles (§6.3).

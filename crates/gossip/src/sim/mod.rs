@@ -25,12 +25,14 @@
 //! seeded RNG in event order, and per-edge heterogeneity is a pure hash —
 //! asserted by the reproducibility tests here and in the scenario matrix.
 
+pub mod arena;
 pub mod engine;
 pub mod latency;
 pub mod metrics;
 pub mod queue;
 pub mod schedule;
 
+pub use arena::EesUnitArena;
 pub use engine::{AsyncGossipEngine, AsyncNetworkConfig};
 pub use latency::LatencyModel;
 pub use metrics::{ConvergenceTimes, SimMetrics};
@@ -104,6 +106,33 @@ pub struct PhaseOutcome<N> {
     pub messages_lost: u64,
 }
 
+/// Runs one protocol phase on the event-driven engine over **any** node
+/// store for its full budget (`budget_rounds × exchange_period` of
+/// simulated time), returning the store plus the accounting [`run_phase`]
+/// reports.  This is the single home of the async-phase recipe — horizon
+/// arithmetic, clock read-out, metrics extraction — shared by
+/// [`run_phase`]'s async arm and the runner's arena-backed scale path, so
+/// the two storages can never drift out of RNG-draw or accounting lockstep.
+pub fn run_async_phase<S, P, R>(
+    config: &AsyncNetworkConfig,
+    nodes: S,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+) -> (S, ExchangeMetrics, f64, SimMetrics)
+where
+    S: crate::engine::ProtocolStore<P>,
+    R: Rng + ?Sized,
+{
+    let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
+    let horizon = f64::from(budget_rounds) * config.exchange_period;
+    engine.run_for(protocol, horizon, rng);
+    let sim_time = engine.now();
+    let (nodes, metrics, sim) = engine.into_parts();
+    (nodes, metrics, sim_time, sim)
+}
+
 /// Runs one gossip phase to its full budget: `budget_rounds` rounds on the
 /// round engine, or `budget_rounds × exchange_period` of simulated time on
 /// the async engine.
@@ -135,11 +164,8 @@ where
             }
         }
         NetworkModel::Async(config) => {
-            let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
-            let horizon = f64::from(budget_rounds) * config.exchange_period;
-            engine.run_for(protocol, horizon, rng);
-            let sim_time = engine.now();
-            let (nodes, metrics, sim) = engine.into_parts();
+            let (nodes, metrics, sim_time, sim) =
+                run_async_phase(config, nodes, churn, protocol, budget_rounds, rng);
             PhaseOutcome {
                 nodes,
                 metrics,
@@ -163,7 +189,7 @@ pub fn run_phase_until<N, P, R, F>(
     protocol: &P,
     budget_rounds: u32,
     rng: &mut R,
-    done: F,
+    mut done: F,
 ) -> PhaseOutcome<N>
 where
     P: PairwiseProtocol<N>,
@@ -188,7 +214,7 @@ where
         NetworkModel::Async(config) => {
             let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
             let horizon = f64::from(budget_rounds) * config.exchange_period;
-            let converged = engine.run_until(protocol, horizon, rng, done);
+            let converged = engine.run_until(protocol, horizon, rng, |nodes: &Vec<N>| done(nodes));
             let sim_time = engine.now();
             let (nodes, metrics, sim) = engine.into_parts();
             PhaseOutcome {
@@ -466,6 +492,64 @@ mod tests {
         };
         assert_eq!(run(1), run(1), "same salt: same simulation");
         assert_ne!(run(1), run(2), "a different salt re-draws the slow edges");
+    }
+
+    #[test]
+    fn async_exchange_counter_growth_stays_within_the_packing_budget() {
+        // The lane-packed overflow contract sizes lanes for a doubling
+        // allowance of 8·budget + 32 (see the core runner).  That law was
+        // pinned for the round engine; large-scale surrogate runs drive
+        // EESum through the *event-driven* engine, so the same bound must
+        // hold under asynchronous delivery cascades (staggered starts and
+        // log-normal latencies included) or packed decodes would trip
+        // their guard at scale.
+        use crate::eesum::{initial_states as ees_states, EesSumProtocol, PlainVector};
+        for &population in &[64usize, 1_000] {
+            for &periods in &[8u32, 24] {
+                for latency in [LatencyModel::ZERO, LatencyModel::LogNormal { median: 0.3, sigma: 0.5 }] {
+                    let config = AsyncNetworkConfig::default().with_latency(latency);
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let states =
+                        ees_states((0..population).map(|i| PlainVector(vec![i as f64])).collect());
+                    let mut engine = AsyncGossipEngine::new(states, config, ChurnModel::NONE);
+                    engine.run_for(&EesSumProtocol, f64::from(periods), &mut rng);
+                    let max_n = engine.nodes().iter().map(|n| n.exchanges).max().unwrap();
+                    assert!(
+                        max_n <= 8 * periods + 32,
+                        "pop {population}, {periods} periods: async max exchange counter \
+                         {max_n} breaches the packing doubling budget"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_check_period_only_moves_the_stop_time() {
+        // Throttling the run_until predicate consumes no RNG draws, so with
+        // an unsatisfiable predicate (both runs exhaust the horizon) the
+        // final states must be bit-identical whatever the period.
+        let run = |period: f64| {
+            let config = AsyncNetworkConfig::default()
+                .with_latency(LatencyModel::Uniform { min: 0.05, max: 0.4 })
+                .with_convergence_check_period(period);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut engine = AsyncGossipEngine::new(sum_states(48), config, ChurnModel::NONE);
+            let done = engine.run_until(&PushPullSum, 12.0, &mut rng, |_: &Vec<SumState>| false);
+            assert!(!done);
+            (engine.nodes().clone(), *engine.metrics())
+        };
+        assert_eq!(run(0.0), run(3.0), "the knob must not move the event schedule");
+
+        // With a satisfiable predicate the throttled run still detects
+        // convergence (at a check boundary or the horizon).
+        let config = AsyncNetworkConfig::default().with_convergence_check_period(2.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut engine = AsyncGossipEngine::new((0..64u64).collect::<Vec<_>>(), config, ChurnModel::NONE);
+        let done =
+            engine.run_until(&MaxProtocol, 50.0, &mut rng, |nodes: &Vec<u64>| nodes.iter().all(|&v| v == 63));
+        assert!(done, "the max must still be detected with throttled checks");
+        assert!(engine.now() < 50.0, "convergence detected before the horizon");
     }
 
     #[test]

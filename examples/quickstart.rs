@@ -59,7 +59,10 @@ fn main() {
         );
     }
 
-    println!("\nSecurity audit: {} transfers recorded, raw data leaked: {}", outcome.audit.events().len(), outcome.audit.leaked_raw_data());
+    // Events are aggregated (one record per transfer class per iteration,
+    // weighted by multiplicity), so the honest transfer count is the sum.
+    let transfers: usize = outcome.audit.events().iter().map(|e| e.count).sum();
+    println!("\nSecurity audit: {} transfers recorded, raw data leaked: {}", transfers, outcome.audit.leaked_raw_data());
     println!("\nFinal centroids (hourly means):");
     for (i, centroid) in outcome.centroids().iter().enumerate() {
         let preview: Vec<String> = centroid.values().iter().take(6).map(|v| format!("{v:.1}")).collect();

@@ -41,6 +41,15 @@
 //! let outcome = DistributedRun::new(params, &dataset).execute(42);
 //! println!("final centroids: {}", outcome.centroids().len());
 //! ```
+//!
+//! At population scale, swap the cipher backend: the plaintext surrogate
+//! runs the identical protocol over exact lane-packed integers (see
+//! `crypto::backend` and docs/REPRODUCING.md) so 100k–1M-device
+//! simulations skip the modular arithmetic without changing one decoded
+//! bit.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use chiaroscuro_core as core;
 pub use chiaroscuro_crypto as crypto;

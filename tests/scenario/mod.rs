@@ -75,6 +75,16 @@ pub struct ScenarioSpec {
     /// crash/rejoin.  The matrix asserts async scenarios reach the same
     /// clustering quality as the synchronous engine from the same seed.
     pub network: NetworkModel,
+    /// Runs the distributed pipeline on the plaintext-surrogate cipher
+    /// backend (exact plaintext lane sums, no modular arithmetic) instead
+    /// of Damgård–Jurik.  Backend setup preserves RNG parity, so surrogate
+    /// scenarios decode the *same* centroids as crypto scenarios from the
+    /// same seed — which is what licenses the 100k+-node scale scenarios.
+    /// Requires `lane_packing`.
+    pub surrogate: bool,
+    /// Paper-scale key size override (surrogate scale scenarios use
+    /// 1024-bit layouts so the lane plan fits 100k-node budgets).
+    pub key_bits: u64,
 }
 
 /// The two execution paths of one scenario, run from the same seed.
@@ -130,7 +140,7 @@ impl ScenarioSpec {
             .epsilon(self.epsilon)
             .strategy(self.strategy)
             .max_iterations(self.max_iterations)
-            .key_bits(256)
+            .key_bits(self.key_bits)
             .key_share_threshold(3)
             .num_noise_shares(self.population)
             .exchanges(self.exchanges)
@@ -147,9 +157,15 @@ impl ScenarioSpec {
         let init = self.initial_centroids();
         let params = self.params();
 
-        let distributed = DistributedRun::new(params.clone(), &data)
-            .with_initial_centroids(init.clone())
-            .execute(self.seed);
+        let distributed = if self.surrogate {
+            DistributedRun::<PlaintextSurrogate>::with_backend(params.clone(), &data)
+                .with_initial_centroids(init.clone())
+                .execute(self.seed)
+        } else {
+            DistributedRun::new(params.clone(), &data)
+                .with_initial_centroids(init.clone())
+                .execute(self.seed)
+        };
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let centralized = QualitySurrogate::new(params)

@@ -35,6 +35,8 @@ fn baseline() -> ScenarioSpec {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        surrogate: false,
+        key_bits: 256,
     }
 }
 
@@ -62,6 +64,8 @@ fn scenario_churn_uniform_fast() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        surrogate: false,
+        key_bits: 256,
     }
     .run()
     .assert_all();
@@ -84,6 +88,8 @@ fn scenario_three_clusters_larger_population() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        surrogate: false,
+        key_bits: 256,
     }
     .run()
     .assert_all();
@@ -109,6 +115,8 @@ fn scenario_tight_budget_greedy_floor() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        surrogate: false,
+        key_bits: 256,
     }
     .run()
     .assert_all();
@@ -132,6 +140,8 @@ fn scenario_churn_and_tight_budget_combined() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        surrogate: false,
+        key_bits: 256,
     }
     .run()
     .assert_all();
@@ -223,6 +233,8 @@ fn scenario_lane_packing_is_bit_exact_with_legacy() {
             exchanges: 8,
             lane_packing: false,
             network: NetworkModel::Rounds,
+            surrogate: false,
+            key_bits: 256,
         },
     ];
     for legacy_spec in shapes {
@@ -388,4 +400,167 @@ fn scenario_population_below_noise_shares_is_rejected() {
         .cloned()
         .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default());
     assert!(message.contains("num_noise_shares"), "unexpected panic message: {message}");
+}
+
+#[test]
+fn scenario_surrogate_backend_is_bit_exact_with_crypto() {
+    // The backend tentpole gate: the plaintext surrogate replays the crypto
+    // run's RNG draws and carries exact plaintext lane sums, so from the
+    // same seed the decoded centroids are bit-identical and the surrogate
+    // run passes the full assertion battery on its own (the audit records
+    // the deployed protocol's protection classes — under the surrogate the
+    // "encrypted" channels carry stand-in plaintexts, see the runner docs).
+    let shapes = [
+        ScenarioSpec {
+            name: "surrogate-baseline",
+            exchanges: 8, // keeps >1 lane per 256-bit plaintext (doubling budget)
+            lane_packing: true,
+            ..baseline()
+        },
+        ScenarioSpec {
+            name: "surrogate-churny",
+            exchanges: 8,
+            lane_packing: true,
+            churn: 0.25,
+            check_structure: false, // churn + 8 exchanges: R2/budget still asserted
+            ..baseline()
+        },
+    ];
+    for crypto_spec in shapes {
+        let mut surrogate_spec = crypto_spec.clone();
+        surrogate_spec.surrogate = true;
+        let crypto = crypto_spec.run();
+        let surrogate = surrogate_spec.run();
+        let crypto_values: Vec<Vec<f64>> =
+            crypto.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let surrogate_values: Vec<Vec<f64>> =
+            surrogate.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(
+            crypto_values, surrogate_values,
+            "[{}] the surrogate backend must decode the crypto run's exact centroids",
+            crypto_spec.name
+        );
+        for (c, s) in crypto.distributed.network.iter().zip(surrogate.distributed.network.iter()) {
+            assert_eq!(c.sum_messages_per_node, s.sum_messages_per_node, "[{}]", crypto_spec.name);
+            assert_eq!(c.sum_rounds, s.sum_rounds);
+            assert_eq!(c.sum_payload_ciphertexts, s.sum_payload_ciphertexts);
+            assert!(
+                s.sum_payload_bytes < c.sum_payload_bytes,
+                "[{}] the surrogate reports the honest plaintext payload",
+                crypto_spec.name
+            );
+        }
+        surrogate.assert_all();
+    }
+}
+
+#[test]
+fn scenario_surrogate_arena_is_bit_exact_with_crypto_under_async_delivery() {
+    // Under the async model the surrogate's EESum runs on the
+    // struct-of-arrays lane arena; same seed as the per-node crypto run =>
+    // bit-identical centroids and gossip accounting (the arena is a storage
+    // change, never an arithmetic one).
+    let mut crypto_spec = ScenarioSpec {
+        name: "surrogate-arena-async",
+        exchanges: 8,
+        lane_packing: true,
+        ..baseline()
+    };
+    crypto_spec.network = wan_network();
+    let mut surrogate_spec = crypto_spec.clone();
+    surrogate_spec.surrogate = true;
+    let crypto = crypto_spec.run();
+    let surrogate = surrogate_spec.run();
+    let crypto_values: Vec<Vec<f64>> =
+        crypto.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    let surrogate_values: Vec<Vec<f64>> =
+        surrogate.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    assert_eq!(crypto_values, surrogate_values, "the arena path must not change a decoded bit");
+    assert_eq!(crypto.distributed.report.num_iterations(), surrogate.distributed.report.num_iterations());
+    for (c, s) in crypto.distributed.network.iter().zip(surrogate.distributed.network.iter()) {
+        assert_eq!(c.gossip_sim_time, s.gossip_sim_time);
+        assert_eq!(c.peak_messages_in_flight, s.peak_messages_in_flight);
+        assert_eq!(c.sum_messages_per_node, s.sum_messages_per_node);
+    }
+    surrogate.assert_r2_audit();
+    surrogate.assert_budget_respected();
+}
+
+/// The 100k-node scale scenario (run by CI's release smoke lane via
+/// `cargo test --release -- --ignored scale`): the full protocol — EESum
+/// over the lane arena, cleartext counter, surplus dissemination, packed
+/// decode — at a population the crypto backend cannot reach, with quality
+/// and ε agreement against a small-population crypto run of the same shape.
+#[test]
+#[ignore = "release-mode scale smoke lane (CI runs it explicitly)"]
+fn scenario_scale_100k_surrogate_async() {
+    use chiaroscuro::core::prelude::{AsyncNetworkConfig, LatencyModel};
+    let scale_spec = ScenarioSpec {
+        name: "scale-100k-surrogate",
+        population: 100_000,
+        k: 2,
+        epsilon: 30.0,
+        churn: 0.0,
+        strategy: BudgetStrategy::UniformFast { max_iterations: 2 },
+        max_iterations: 2,
+        seed: 0xC1A0_0100,
+        structure_tolerance: 8.0,
+        check_structure: true,
+        pool_threads: 0, // auto: the assignment step parallelises trivially
+        exchanges: 20,
+        lane_packing: true,
+        network: NetworkModel::Async(
+            AsyncNetworkConfig::default()
+                .with_latency(LatencyModel::LogNormal { median: 0.25, sigma: 0.5 })
+                // Whole-population convergence checks are O(population);
+                // once per simulated period is plenty at this scale.
+                .with_convergence_check_period(1.0),
+        ),
+        surrogate: true,
+        key_bits: 1024, // paper-scale layout: the lane plan must fit 100k budgets
+    };
+    let scale = scale_spec.run();
+    scale.assert_all();
+    for stats in &scale.distributed.network {
+        // Async delivery leaves a sliver of counter mass in flight at the
+        // horizon (unlike the round engine's lockstep barrier), so the
+        // reference node's count can undershoot nν by a fraction of a
+        // percent; anything larger would mean the gossip budget is too
+        // small for this population.
+        assert!(
+            stats.noise_share_deficit <= scale_spec.population / 200,
+            "counter deficit {} exceeds 0.5% of the population",
+            stats.noise_share_deficit
+        );
+        assert!(stats.gossip_sim_time > 0.0);
+    }
+
+    // Quality and ε agreement with a small-population *crypto* run of the
+    // same scenario shape: both recover the same true profile levels and
+    // spend exactly the same budget schedule.
+    let small_crypto = ScenarioSpec {
+        name: "scale-agreement-crypto-16",
+        population: 16,
+        exchanges: 8,
+        key_bits: 256,
+        surrogate: false,
+        network: NetworkModel::Rounds,
+        pool_threads: 1,
+        ..scale_spec
+    };
+    let small = small_crypto.run();
+    small.assert_all();
+    assert!(
+        (scale.distributed.report.total_epsilon() - small.distributed.report.total_epsilon()).abs()
+            < 1e-12,
+        "both scales must spend the identical ε schedule"
+    );
+    let scale_means = scale.distributed_means();
+    let small_means = small.distributed_means();
+    for (a, b) in scale_means.iter().zip(small_means.iter()) {
+        assert!(
+            (a - b).abs() < scale_spec.structure_tolerance,
+            "scale centroid {a:.2} vs small-crypto centroid {b:.2}"
+        );
+    }
 }

@@ -5,7 +5,8 @@
 
 use std::sync::Arc;
 
-use chiaroscuro::core::evalue::EncryptedVector;
+use chiaroscuro::core::evalue::{BackendVector, EncryptedVector};
+use chiaroscuro::crypto::backend::DamgardJurik;
 use chiaroscuro::crypto::encoding::FixedPointEncoder;
 use chiaroscuro::crypto::keys::KeyPair;
 use chiaroscuro::crypto::threshold::{combine, PartialDecryption, ThresholdDealer};
@@ -26,12 +27,18 @@ fn encrypted_and_plaintext_eesum_agree() {
     let mut rng = StdRng::seed_from_u64(1);
     let keypair = KeyPair::generate(192, 1, &mut rng);
     let public = Arc::new(keypair.public.clone());
+    let backend = Arc::new(DamgardJurik::from_public_key(keypair.public.clone()));
     let encoder = FixedPointEncoder::new(3);
     let values: Vec<f64> = vec![3.5, -1.25, 8.0, 0.5, 2.75, 10.0, -4.5, 6.25];
 
     let encrypted: Vec<EncryptedVector> = values
         .iter()
-        .map(|&v| EncryptedVector::new(public.clone(), vec![public.encrypt(&encoder.encode(v, &public), &mut rng)]))
+        .map(|&v| {
+            BackendVector::new(
+                backend.clone(),
+                vec![public.encrypt(&encoder.encode(v, &public), &mut rng)],
+            )
+        })
         .collect();
     let mut enc_states = initial_states(encrypted);
     let mut plain_states_vec = initial_states(values.iter().map(|&v| PlainVector(vec![v])).collect());
@@ -104,6 +111,7 @@ fn threshold_decryption_of_a_gossip_summed_ciphertext() {
     let mut rng = StdRng::seed_from_u64(3);
     let keypair = KeyPair::generate(192, 1, &mut rng);
     let public = Arc::new(keypair.public.clone());
+    let backend = Arc::new(DamgardJurik::from_public_key(keypair.public.clone()));
     let encoder = FixedPointEncoder::new(3);
     let dealer = ThresholdDealer::new(&keypair, 10, 4);
     let shares = dealer.deal(&mut rng);
@@ -112,7 +120,12 @@ fn threshold_decryption_of_a_gossip_summed_ciphertext() {
 
     let encrypted: Vec<EncryptedVector> = values
         .iter()
-        .map(|&v| EncryptedVector::new(public.clone(), vec![public.encrypt(&encoder.encode(v, &public), &mut rng)]))
+        .map(|&v| {
+            BackendVector::new(
+                backend.clone(),
+                vec![public.encrypt(&encoder.encode(v, &public), &mut rng)],
+            )
+        })
         .collect();
     let mut engine = GossipEngine::new(initial_states(encrypted), ChurnModel::NONE);
     engine.run_rounds(&EesSumProtocol, 20, &mut rng);
