@@ -22,7 +22,14 @@
 //!   scale_sweep [--min-population 1000] [--max-population 1000000]
 //!               [--k 2] [--iterations 2] [--exchanges 20] [--key-bits 1024]
 //!               [--epsilon 30] [--seed 1] [--median 0.25] [--sigma 0.5]
-//!               [--json-out BENCH_scale.json]
+//!               [--shard-counts 1] [--json-out BENCH_scale.json]
+//!
+//! `--shard-counts` takes a comma-separated list of simulator shard counts
+//! (`1` = the serial event-queue engine, `n ≥ 2` = the sharded windowed
+//! engine with `n` workers); every population is run once per count, so the
+//! artifact reports node-iterations/sec per worker count.  Results are
+//! bit-invariant in the shard count by construction, but throughput is not —
+//! that is the point of the sweep.
 
 use std::time::Instant;
 
@@ -39,6 +46,8 @@ const SERIES_LEN: usize = 6;
 
 struct SweepRow {
     population: usize,
+    /// Simulator shard count the row ran with (1 = serial event queue).
+    sim_shards: usize,
     wall_secs: f64,
     /// Device-iterations processed per wall-clock second (population ×
     /// iterations ÷ wall time): the honest throughput unit, since every
@@ -70,14 +79,22 @@ fn main() {
     let median = args.get("median", 0.25f64);
     let sigma = args.get("sigma", 0.5f64);
     let json_out = args.get_str("json-out", "BENCH_scale.json");
+    let shard_counts: Vec<usize> = args
+        .get_str("shard-counts", "1")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shard-counts takes a comma-separated list of counts"))
+        .collect();
 
     let mut rows = Vec::new();
     let mut population = min_population;
     while population <= max_population {
-        println!("running {population} nodes...");
-        rows.push(run_population(
-            population, k, iterations, exchanges, key_bits, epsilon, seed, median, sigma,
-        ));
+        for &sim_shards in &shard_counts {
+            println!("running {population} nodes with {sim_shards} shard(s)...");
+            rows.push(run_population(
+                population, sim_shards, k, iterations, exchanges, key_bits, epsilon, seed, median,
+                sigma,
+            ));
+        }
         population = population.saturating_mul(10);
     }
 
@@ -104,6 +121,7 @@ fn dataset(population: usize, k: usize) -> TimeSeriesSet {
 #[allow(clippy::too_many_arguments)]
 fn run_population(
     population: usize,
+    sim_shards: usize,
     k: usize,
     iterations: usize,
     exchanges: u32,
@@ -142,6 +160,7 @@ fn run_population(
                 // O(population · periods) instead of O(population²).
                 .with_convergence_check_period(1.0),
         ))
+        .sim_shards(sim_shards)
         .build();
 
     let start = Instant::now();
@@ -164,6 +183,7 @@ fn run_population(
 
     SweepRow {
         population,
+        sim_shards,
         wall_secs,
         node_iterations_per_sec: (population * ran_iterations) as f64 / wall_secs,
         peak_rss_mb: peak_rss_kb().map(|kb| kb as f64 / 1024.0),
@@ -199,6 +219,7 @@ fn print_table(rows: &[SweepRow]) {
         "Population sweep — full protocol on the plaintext-surrogate backend (async network)",
         &[
             "population",
+            "shards",
             "wall s",
             "node-iters/s",
             "peak RSS MB",
@@ -214,6 +235,7 @@ fn print_table(rows: &[SweepRow]) {
     for r in rows {
         table.row(&[
             r.population.to_string(),
+            r.sim_shards.to_string(),
             format!("{:.1}", r.wall_secs),
             format!("{:.0}", r.node_iterations_per_sec),
             r.peak_rss_mb.map(|m| format!("{m:.0}")).unwrap_or_else(|| "-".into()),
@@ -246,6 +268,7 @@ fn render_json(
         .map(|r| {
             Json::object()
                 .set("population", r.population)
+                .set("sim_shards", r.sim_shards)
                 .set("iterations", r.iterations)
                 .set("wall_secs", r.wall_secs)
                 .set("node_iterations_per_sec", r.node_iterations_per_sec)

@@ -311,6 +311,26 @@ impl ChiaroscuroParamsBuilder {
         self
     }
 
+    /// Sets the event-driven simulator's shard count on the current `Async`
+    /// network model (`1` = the pinned serial engine, `0` = auto-detect,
+    /// `n ≥ 2` = the sharded multi-worker engine; results are bit-invariant
+    /// in the shard count).  Call [`Self::network`] with an `Async`
+    /// configuration first.
+    ///
+    /// # Panics
+    /// Panics if the network model is round-based (shards only apply to the
+    /// event-driven simulator).
+    pub fn sim_shards(mut self, sim_shards: usize) -> Self {
+        match self.params.network {
+            NetworkModel::Async(ref mut config) => config.sim_shards = sim_shards,
+            NetworkModel::Rounds => panic!(
+                "sim_shards applies to the event-driven simulator; select \
+                 NetworkModel::Async with .network(..) first"
+            ),
+        }
+        self
+    }
+
     /// Enables or disables the lane-packed plaintext encoding (off = the
     /// bit-exact legacy one-ciphertext-per-coordinate path).
     pub fn lane_packing(mut self, lane_packing: bool) -> Self {
@@ -520,6 +540,23 @@ mod tests {
         use chiaroscuro_gossip::sim::AsyncNetworkConfig;
         let config = AsyncNetworkConfig::default().with_loss(1.0);
         ChiaroscuroParams::builder().network(NetworkModel::Async(config)).build();
+    }
+
+    #[test]
+    fn sim_shards_knob_reaches_the_async_config() {
+        use chiaroscuro_gossip::sim::AsyncNetworkConfig;
+        let p = ChiaroscuroParams::builder()
+            .network(NetworkModel::Async(AsyncNetworkConfig::default()))
+            .sim_shards(4)
+            .build();
+        match p.network {
+            NetworkModel::Async(config) => assert_eq!(config.sim_shards, 4),
+            NetworkModel::Rounds => unreachable!(),
+        }
+        let err = std::panic::catch_unwind(|| {
+            ChiaroscuroParams::builder().sim_shards(4);
+        });
+        assert!(err.is_err(), "sim_shards on the round model must be rejected");
     }
 
     #[test]

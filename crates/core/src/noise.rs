@@ -77,6 +77,12 @@ pub struct NoiseCorrection {
 impl NoiseCorrection {
     /// Builds a correction equivalent to `surplus` extra contributors.
     /// With no surplus the correction is all zeros (and harmless).
+    ///
+    /// Each dimension draws the aggregated surplus in one shot
+    /// ([`NoiseShareGenerator::sample_correction`], exact by Gamma
+    /// additivity) instead of accumulating `surplus` individual shares, so
+    /// the cost is O(k·n) however far an unconverged contributor counter
+    /// overshoots.
     pub fn generate<R: Rng + ?Sized>(
         surplus: usize,
         k: usize,
@@ -88,16 +94,10 @@ impl NoiseCorrection {
     ) -> Self {
         let sum_generator = NoiseShareGenerator::new(num_shares, sum_scale);
         let count_generator = NoiseShareGenerator::new(num_shares, count_scale);
-        let mut sum_correction = vec![0.0; k * series_length];
-        let mut count_correction = vec![0.0; k];
-        for _ in 0..surplus {
-            for value in &mut sum_correction {
-                *value += sum_generator.sample(rng).value;
-            }
-            for value in &mut count_correction {
-                *value += count_generator.sample(rng).value;
-            }
-        }
+        let sum_correction =
+            (0..k * series_length).map(|_| sum_generator.sample_correction(surplus, rng)).collect();
+        let count_correction =
+            (0..k).map(|_| count_generator.sample_correction(surplus, rng)).collect();
         Self { id: rng.gen(), sum_correction, count_correction }
     }
 }

@@ -39,7 +39,7 @@
 //! [`PlaintextSurrogate`](chiaroscuro_crypto::backend::PlaintextSurrogate),
 //! which carries the exact plaintext lane integers instead of ciphertexts
 //! so the full protocol (gossip, EESum, churn, dissemination, noise shares,
-//! surplus correction) can run at 100k–1M participants.  Backend setup
+//! surplus correction) can run at 100k–10M participants.  Backend setup
 //! preserves RNG parity (see `chiaroscuro_crypto::backend`), so a surrogate
 //! run decodes the *same* centroids as a crypto run from the same seed —
 //! asserted by the scenario matrix and the backend-equivalence proptests.
@@ -116,12 +116,14 @@ use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
 use chiaroscuro_dp::laplace::{LaplaceMechanism, Sensitivity};
 use chiaroscuro_dp::noise_share::NoiseShareGenerator;
 use chiaroscuro_gossip::churn::ChurnModel;
-use chiaroscuro_gossip::dissemination::{converged, winning_state, DisseminationProtocol, MinIdState};
+use chiaroscuro_gossip::dissemination::{
+    converged, winning_state, DisseminationProtocol, MinIdArena, MinIdState,
+};
 use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesState, EesSumProtocol};
 use chiaroscuro_gossip::metrics::ExchangeMetrics;
 use chiaroscuro_gossip::sim::arena::EesUnitArena;
 use chiaroscuro_gossip::sim::{
-    run_async_phase, run_phase, run_phase_until, NetworkModel, PhaseOutcome,
+    run_async_phase, run_async_phase_until, run_phase, run_phase_until, NetworkModel, PhaseOutcome,
 };
 use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
 use chiaroscuro_kmeans::report::{IterationReport, RunReport};
@@ -397,7 +399,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             .expect("the offline pool cannot fail to build");
         // The struct-of-arrays EESum arena: plaintext lane integers under an
         // event-driven network model, i.e. the configuration meant to scale
-        // to 100k–1M nodes.  Encrypted backends always use per-node states
+        // to 100k–10M nodes.  Encrypted backends always use per-node states
         // (their units are not plain integers); the round engine keeps the
         // per-node layout too, whose footprint it tolerates.
         let use_arena = !B::ENCRYPTED && params.network.is_async();
@@ -522,10 +524,10 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                     for (offset, (assigned, units)) in chunk.into_iter().enumerate() {
                         labels.push(assigned);
                         for (u, unit) in units.iter().enumerate() {
-                            arena.set_unit(
+                            arena.set_unit_from_digits(
                                 start + offset,
                                 u,
-                                &backend.plaintext_of(unit).to_u64_digits(),
+                                backend.plaintext_of(unit).iter_u64_digits(),
                             );
                         }
                     }
@@ -603,14 +605,23 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             // More contributors than the expected nν means surplus noise to
             // subtract; fewer means a deficit — there is nothing to
             // subtract, and the shortfall is surfaced in the iteration's
-            // stats rather than silently mapped to zero.
-            let contributors = counter_estimate.round() as i64;
+            // stats rather than silently mapped to zero.  The push-pull
+            // counter is only an estimate of the contributor count; before
+            // full mixing it can transiently overshoot the population by
+            // orders of magnitude, and no run can have more contributors
+            // than devices, so the estimate is clamped to the population
+            // rather than over-correcting by a physically impossible
+            // surplus.
+            let contributors = (counter_estimate.round() as i64).min(population as i64);
             let expected_shares = params.num_noise_shares as i64;
             let surplus = (contributors - expected_shares).max(0) as usize;
             let noise_share_deficit = (expected_shares - contributors).max(0) as usize;
-            let correction_states: Vec<MinIdState<NoiseCorrection>> = (0..population)
+            // Proposals are always generated in node order from the run RNG,
+            // whatever storage the dissemination runs on, so the draw
+            // sequence (and hence the whole run) is storage-independent.
+            let corrections: Vec<NoiseCorrection> = (0..population)
                 .map(|_| {
-                    let correction = NoiseCorrection::generate(
+                    NoiseCorrection::generate(
                         surplus,
                         k,
                         n,
@@ -618,34 +629,81 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                         count_scale,
                         params.num_noise_shares,
                         rng,
-                    );
-                    MinIdState::new(correction.id, correction)
+                    )
                 })
                 .collect();
-            let dissemination_phase = run_phase_until(
-                &params.network,
-                correction_states,
-                churn,
-                &DisseminationProtocol,
-                exchanges,
-                rng,
-                converged,
-            );
-            let dissemination_converged = dissemination_phase.converged;
-            audit.record_n(iteration, "noise correction proposal", DataClass::DataIndependent, population);
             // The agreed-upon correction is the proposal with the globally
             // smallest identifier — the value dissemination converges to —
             // not whatever node 0 happens to hold (under churn an
             // unconverged node 0 may still carry a losing proposal).
-            let winning_correction = {
-                let states = &dissemination_phase.nodes;
-                let winner = winning_state(states);
-                assert!(
-                    states.iter().filter(|s| s.id == winner.id).all(|s| s.payload == winner.payload),
-                    "every node holding the winning identifier must carry the same payload"
-                );
-                winner.payload.clone()
+            let (
+                winning_correction,
+                dissemination_metrics,
+                dissemination_converged,
+                dissemination_sim_time,
+                dissemination_peak_in_flight,
+            ) = match &params.network {
+                NetworkModel::Async(config) => {
+                    // Struct-of-arrays dissemination: the event-driven
+                    // engines drive a MinIdArena (one id lane plus flat
+                    // payload rows) instead of per-node boxed
+                    // NoiseCorrection clones.  The async schedule is
+                    // state-independent, so the result is bit-identical to
+                    // the boxed store from the same RNG.
+                    let payload_len = k * n + k;
+                    let arena = MinIdArena::build(population, payload_len, |node, row| {
+                        let c = &corrections[node];
+                        row[..k * n].copy_from_slice(&c.sum_correction);
+                        row[k * n..].copy_from_slice(&c.count_correction);
+                        c.id
+                    });
+                    let (arena, metrics, sim_time, sim, phase_converged) = run_async_phase_until(
+                        config,
+                        arena,
+                        churn,
+                        &DisseminationProtocol,
+                        exchanges,
+                        rng,
+                        |arena: &MinIdArena| arena.converged(),
+                    );
+                    let winner = arena.winning_node();
+                    let winner_id = arena.id(winner);
+                    assert!(
+                        (0..population)
+                            .filter(|&node| arena.id(node) == winner_id)
+                            .all(|node| arena.payload(node) == arena.payload(winner)),
+                        "every node holding the winning identifier must carry the same payload"
+                    );
+                    let row = arena.payload(winner);
+                    let winning = NoiseCorrection {
+                        id: winner_id,
+                        sum_correction: row[..k * n].to_vec(),
+                        count_correction: row[k * n..].to_vec(),
+                    };
+                    (winning, metrics, phase_converged, sim_time, sim.peak_in_flight)
+                }
+                NetworkModel::Rounds => {
+                    let correction_states: Vec<MinIdState<NoiseCorrection>> =
+                        corrections.iter().map(|c| MinIdState::new(c.id, c.clone())).collect();
+                    let phase = run_phase_until(
+                        &params.network,
+                        correction_states,
+                        churn,
+                        &DisseminationProtocol,
+                        exchanges,
+                        rng,
+                        converged,
+                    );
+                    let winner = winning_state(&phase.nodes);
+                    assert!(
+                        phase.nodes.iter().filter(|s| s.id == winner.id).all(|s| s.payload == winner.payload),
+                        "every node holding the winning identifier must carry the same payload"
+                    );
+                    let winning = winner.payload.clone();
+                    (winning, phase.metrics, phase.converged, phase.sim_time, phase.peak_in_flight)
+                }
             };
+            audit.record_n(iteration, "noise correction proposal", DataClass::DataIndependent, population);
 
             // --- Computation step (c): perturbation and threshold decryption. ---
             let weight = sum_phase.weight(reference);
@@ -739,7 +797,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 iteration,
                 sum_messages_per_node: sum_phase.metrics().messages_per_node(population)
                     + counter_phase.metrics.messages_per_node(population),
-                dissemination_messages_per_node: dissemination_phase.metrics.messages_per_node(population),
+                dissemination_messages_per_node: dissemination_metrics.messages_per_node(population),
                 sum_rounds: sum_phase.metrics().rounds(),
                 dissemination_converged,
                 noise_share_deficit,
@@ -747,11 +805,11 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 sum_payload_bytes,
                 gossip_sim_time: sum_phase.sim_time()
                     + counter_phase.sim_time
-                    + dissemination_phase.sim_time,
+                    + dissemination_sim_time,
                 peak_messages_in_flight: sum_phase
                     .peak_in_flight()
                     .max(counter_phase.peak_in_flight)
-                    .max(dissemination_phase.peak_in_flight),
+                    .max(dissemination_peak_in_flight),
             });
 
             // --- Convergence step. ---

@@ -4,7 +4,7 @@
 //! any small population, k, churn level and seed.
 //!
 //! This is the load-bearing guarantee behind running quality/ε scenarios at
-//! 100k–1M nodes on the surrogate: whatever the surrogate reports *is* what
+//! 100k–10M nodes on the surrogate: whatever the surrogate reports *is* what
 //! the crypto run would have reported, minus the modular arithmetic.
 
 use chiaroscuro_core::prelude::*;

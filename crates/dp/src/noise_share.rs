@@ -101,11 +101,25 @@ impl NoiseShareGenerator {
     }
 
     /// Draws the *surplus correction* of §4.2.2: when `extra` more
-    /// participants than expected contributed shares, the correction is the
-    /// sum of `extra` freshly drawn shares, to be subtracted from the
-    /// aggregated noise so that exactly `nν` shares remain in expectation.
+    /// participants than expected contributed shares, the correction is
+    /// distributed as the sum of `extra` freshly drawn shares, to be
+    /// subtracted from the aggregated noise so that exactly `nν` shares
+    /// remain in expectation.
+    ///
+    /// Sampled in O(1) rather than by summing `extra` individual shares:
+    /// each share is `G₁(1/nν, λ) − G₂(1/nν, λ)`, and Gamma variables of a
+    /// common scale are additive in the shape, so the sum of `extra` i.i.d.
+    /// shares equals in distribution `G₁(extra/nν, λ) − G₂(extra/nν, λ)`.
+    /// An unconverged contributor counter can report a surplus on the order
+    /// of the population, which made the per-share loop
+    /// O(population · dimensions) per proposal — quadratic across the
+    /// population — where the aggregate draw is constant-time.
     pub fn sample_correction<R: Rng + ?Sized>(&self, extra: usize, rng: &mut R) -> f64 {
-        (0..extra).map(|_| self.sample(rng).value).sum()
+        if extra == 0 {
+            return 0.0;
+        }
+        let g = Gamma::new(extra as f64 / self.num_shares as f64, self.scale);
+        g.sample(rng) - g.sample(rng)
     }
 }
 
@@ -195,6 +209,51 @@ mod tests {
         let gen = NoiseShareGenerator::new(10, 1.0);
         let mut rng = StdRng::seed_from_u64(5);
         assert_eq!(gen.sample_correction(0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn correction_matches_the_summed_share_distribution() {
+        // Gamma additivity: the O(1) aggregate draw must equal in
+        // distribution the sum of `extra` individual shares.  Both are
+        // zero-mean; compare the variance, 2·extra·λ²/nν, against each
+        // empirical estimate.
+        let nu = 500usize;
+        let scale = 2.0;
+        let extra = 40usize;
+        let gen = NoiseShareGenerator::new(nu, scale);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 30_000;
+        let variance = |samples: &[f64]| {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64
+        };
+        let aggregate: Vec<f64> = (0..trials).map(|_| gen.sample_correction(extra, &mut rng)).collect();
+        let summed: Vec<f64> = (0..trials)
+            .map(|_| (0..extra).map(|_| gen.sample(&mut rng).value).sum())
+            .collect();
+        let expected = 2.0 * extra as f64 * scale * scale / nu as f64;
+        let (va, vs) = (variance(&aggregate), variance(&summed));
+        assert!((va - expected).abs() / expected < 0.1, "aggregate var {va} vs {expected}");
+        assert!((vs - expected).abs() / expected < 0.1, "summed var {vs} vs {expected}");
+        let mean = aggregate.iter().sum::<f64>() / trials as f64;
+        assert!(mean.abs() < 0.05, "aggregate mean {mean}");
+    }
+
+    #[test]
+    fn correction_cost_is_independent_of_the_surplus() {
+        // Regression: an unconverged contributor counter can report a
+        // surplus on the order of the population; a population-sized
+        // correction must be a constant-time draw, not a 10M-share
+        // accumulation (which made the runner's correction phase quadratic
+        // across the population).
+        let gen = NoiseShareGenerator::new(10_000_000, 100.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = gen.sample_correction(10_000_000, &mut rng);
+        assert!(v.is_finite());
+        // With extra == nν the aggregate is a full Laplace(λ) sample's
+        // worth of noise — typically of order λ, never degenerate zero.
+        let spread = (0..64).map(|_| gen.sample_correction(10_000_000, &mut rng).abs()).fold(0.0, f64::max);
+        assert!(spread > 1.0, "population-sized corrections must carry Laplace-scale mass, got {spread}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::PairwiseProtocol;
+use crate::engine::{
+    pair_mut, PairwiseProtocol, ParallelProtocolStore, ProtocolStore, SendPtr, StateStore,
+    PARALLEL_EXCHANGE_THRESHOLD,
+};
 
 /// One participant's dissemination state: the best (smallest-id) proposal
 /// seen so far.
@@ -67,6 +70,159 @@ pub fn global_minimum<T>(states: &[MinIdState<T>]) -> u64 {
 /// Panics on an empty population.
 pub fn winning_state<T>(states: &[MinIdState<T>]) -> &MinIdState<T> {
     states.iter().min_by_key(|s| s.id).expect("non-empty population")
+}
+
+/// Struct-of-arrays storage for min-identifier dissemination over fixed-width
+/// `f64` payload vectors.
+///
+/// Semantically equivalent to `Vec<MinIdState<Vec<f64>>>`, but the whole
+/// population lives in two flat allocations (one `u64` identifier lane, one
+/// `payload_len`-stride payload matrix), so ten-million-node dissemination
+/// phases avoid per-node heap boxes and clone traffic.  Implements
+/// [`ProtocolStore`] and [`ParallelProtocolStore`] for
+/// [`DisseminationProtocol`], so both the serial engines and the sharded
+/// engine's wavefront batches can drive it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinIdArena {
+    payload_len: usize,
+    ids: Vec<u64>,
+    payloads: Vec<f64>,
+}
+
+impl MinIdArena {
+    /// Builds an arena of `population` nodes whose per-node proposal is
+    /// produced by `init`: for each node the closure fills the (zeroed)
+    /// payload row and returns the proposal identifier.
+    ///
+    /// # Panics
+    /// Panics if `population` is zero.
+    pub fn build(
+        population: usize,
+        payload_len: usize,
+        mut init: impl FnMut(usize, &mut [f64]) -> u64,
+    ) -> Self {
+        assert!(population > 0, "dissemination needs a non-empty population");
+        let mut payloads = vec![0.0; population * payload_len];
+        let ids = (0..population)
+            .map(|node| init(node, &mut payloads[node * payload_len..(node + 1) * payload_len]))
+            .collect();
+        Self { payload_len, ids, payloads }
+    }
+
+    /// Width of every payload row.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// The proposal identifier currently retained by `node`.
+    pub fn id(&self, node: usize) -> u64 {
+        self.ids[node]
+    }
+
+    /// The payload row currently retained by `node`.
+    pub fn payload(&self, node: usize) -> &[f64] {
+        &self.payloads[node * self.payload_len..(node + 1) * self.payload_len]
+    }
+
+    /// Whether every node retains the same proposal identifier.
+    pub fn converged(&self) -> bool {
+        self.ids.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The node holding the globally smallest identifier — the arena
+    /// counterpart of [`winning_state`], valid whether or not dissemination
+    /// has converged.
+    pub fn winning_node(&self) -> usize {
+        let mut best = 0;
+        for (node, &id) in self.ids.iter().enumerate() {
+            if id < self.ids[best] {
+                best = node;
+            }
+        }
+        best
+    }
+}
+
+impl StateStore for MinIdArena {
+    fn population(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+impl ProtocolStore<DisseminationProtocol> for MinIdArena {
+    fn apply_exchange(&mut self, _protocol: &DisseminationProtocol, initiator: usize, contact: usize) {
+        let (i_id, c_id) = pair_mut(&mut self.ids, initiator, contact);
+        // Smaller identifier wins on both sides; copy the winning row over
+        // the losing one.
+        let (winner, loser) = if *i_id <= *c_id {
+            *c_id = *i_id;
+            (initiator, contact)
+        } else {
+            *i_id = *c_id;
+            (contact, initiator)
+        };
+        let stride = self.payload_len;
+        let (src, dst) = if winner < loser {
+            let (left, right) = self.payloads.split_at_mut(loser * stride);
+            (&left[winner * stride..(winner + 1) * stride], &mut right[..stride])
+        } else {
+            let (left, right) = self.payloads.split_at_mut(winner * stride);
+            (&right[..stride], &mut left[loser * stride..(loser + 1) * stride])
+        };
+        dst.copy_from_slice(src);
+    }
+}
+
+impl ParallelProtocolStore<DisseminationProtocol> for MinIdArena {
+    fn apply_exchanges(
+        &mut self,
+        pool: &rayon::ThreadPool,
+        protocol: &DisseminationProtocol,
+        pairs: &[(u32, u32)],
+    ) {
+        let population = self.ids.len();
+        for &(i, c) in pairs {
+            assert!(
+                i != c && (i as usize) < population && (c as usize) < population,
+                "bad exchange pair ({i}, {c})"
+            );
+        }
+        if pool.current_num_threads() <= 1 || pairs.len() < PARALLEL_EXCHANGE_THRESHOLD {
+            for &(i, c) in pairs {
+                self.apply_exchange(protocol, i as usize, c as usize);
+            }
+            return;
+        }
+        let stride = self.payload_len;
+        let ids = SendPtr(self.ids.as_mut_ptr());
+        let payloads = SendPtr(self.payloads.as_mut_ptr());
+        pool.map_range(pairs.len(), |k| {
+            // Capture the SendPtr wrappers whole (2021 disjoint-field
+            // capture would otherwise grab the raw pointers, which are
+            // deliberately not Send).
+            let (ids, payloads) = (ids, payloads);
+            let (i, c) = (pairs[k].0 as usize, pairs[k].1 as usize);
+            // SAFETY: the batch is node-disjoint (trait contract) and both
+            // indices were bounds-checked above, so no two closures touch
+            // the same identifier or payload row.
+            unsafe {
+                let i_id = &mut *ids.0.add(i);
+                let c_id = &mut *ids.0.add(c);
+                let (winner, loser) = if *i_id <= *c_id {
+                    *c_id = *i_id;
+                    (i, c)
+                } else {
+                    *i_id = *c_id;
+                    (c, i)
+                };
+                std::ptr::copy_nonoverlapping(
+                    payloads.0.add(winner * stride),
+                    payloads.0.add(loser * stride),
+                    stride,
+                );
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +306,92 @@ mod tests {
             engine.nodes().iter().any(|s| s.id != expected_min),
             "the run must be genuinely unconverged for this regression to bite"
         );
+    }
+
+    fn arena_and_vec_twins(
+        population: usize,
+        payload_len: usize,
+        seed: u64,
+    ) -> (MinIdArena, Vec<MinIdState<Vec<f64>>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let states: Vec<MinIdState<Vec<f64>>> = (0..population)
+            .map(|_| {
+                let id = rng.gen::<u64>();
+                let payload: Vec<f64> = (0..payload_len).map(|_| rng.gen::<f64>()).collect();
+                MinIdState::new(id, payload)
+            })
+            .collect();
+        let arena = MinIdArena::build(population, payload_len, |node, row| {
+            row.copy_from_slice(&states[node].payload);
+            states[node].id
+        });
+        (arena, states)
+    }
+
+    fn assert_arena_matches_vec(arena: &MinIdArena, states: &[MinIdState<Vec<f64>>]) {
+        for (node, state) in states.iter().enumerate() {
+            assert_eq!(arena.id(node), state.id, "id of node {node}");
+            assert_eq!(arena.payload(node), state.payload.as_slice(), "payload of node {node}");
+        }
+    }
+
+    #[test]
+    fn arena_exchanges_stay_in_lockstep_with_the_vec_store() {
+        use crate::engine::ProtocolStore;
+        let (mut arena, mut states) = arena_and_vec_twins(200, 3, 21);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..2_000 {
+            let i = rng.gen_range(0..200usize);
+            let c = loop {
+                let c = rng.gen_range(0..200usize);
+                if c != i {
+                    break c;
+                }
+            };
+            arena.apply_exchange(&DisseminationProtocol, i, c);
+            states.apply_exchange(&DisseminationProtocol, i, c);
+        }
+        assert_arena_matches_vec(&arena, &states);
+        assert_eq!(arena.converged(), converged(&states));
+        assert_eq!(arena.id(arena.winning_node()), global_minimum(&states));
+    }
+
+    #[test]
+    fn arena_parallel_batches_match_serial_application() {
+        let population = 4_096;
+        let (mut parallel, _) = arena_and_vec_twins(population, 2, 33);
+        let mut serial = parallel.clone();
+        // A node-disjoint batch large enough to trip the parallel path.
+        let pairs: Vec<(u32, u32)> =
+            (0..population as u32 / 2).map(|k| (2 * k, 2 * k + 1)).collect();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        ParallelProtocolStore::apply_exchanges(&mut parallel, &pool, &DisseminationProtocol, &pairs);
+        for &(i, c) in &pairs {
+            ProtocolStore::apply_exchange(&mut serial, &DisseminationProtocol, i as usize, c as usize);
+        }
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sharded_engine_drives_the_arena_and_the_vec_store_identically() {
+        // The sharded schedule is state-independent, so the same
+        // (seed, config, shards) drives both storages through the same
+        // exchange sequence; their states must stay equal throughout.
+        use crate::sim::{AsyncNetworkConfig, LatencyModel, ShardedAsyncEngine};
+        let (arena, states) = arena_and_vec_twins(96, 2, 55);
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::Uniform { min: 0.05, max: 0.4 })
+            .with_loss(0.05)
+            .with_sim_shards(3);
+        let mut arena_engine = ShardedAsyncEngine::new(arena, config.clone(), ChurnModel::new(0.1));
+        let mut vec_engine = ShardedAsyncEngine::new(states, config, ChurnModel::new(0.1));
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        arena_engine.run_for(&DisseminationProtocol, 30.0, &mut rng_a);
+        vec_engine.run_for(&DisseminationProtocol, 30.0, &mut rng_b);
+        assert_eq!(arena_engine.metrics(), vec_engine.metrics());
+        assert_arena_matches_vec(arena_engine.nodes(), vec_engine.nodes());
+        assert!(arena_engine.nodes().converged(), "30s must converge 96 nodes");
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub trait PairwiseProtocol<N> {
 pub trait StateStore {
     /// Number of nodes held.
     fn population(&self) -> usize;
+
+    /// Hints that `node`'s state is about to be exchanged (software
+    /// prefetch).  The default does nothing; slab-backed stores whose rows
+    /// live far apart in memory override it so an apply loop can hide the
+    /// DRAM latency of upcoming random rows.
+    fn prefetch_node(&self, _node: usize) {}
 }
 
 /// Storage that can apply one pairwise protocol exchange in place.
@@ -55,6 +61,80 @@ impl<N, P: PairwiseProtocol<N>> ProtocolStore<P> for Vec<N> {
     fn apply_exchange(&mut self, protocol: &P, initiator: usize, contact: usize) {
         let (a, b) = pair_mut(self, initiator, contact);
         protocol.exchange(a, b);
+    }
+}
+
+/// Below this many exchanges a parallel batch is not worth the spawn cost
+/// (each scoped-thread spawn is tens of microseconds; an exchange is
+/// typically well under one).
+pub(crate) const PARALLEL_EXCHANGE_THRESHOLD: usize = 1024;
+
+/// Storage that can additionally apply a **node-disjoint batch** of
+/// exchanges on a worker pool.
+///
+/// The sharded async engine ([`crate::sim::shard`]) decomposes each
+/// barrier's ordered exchange list into waves in which no node index
+/// appears twice; within a wave the exchanges touch disjoint state and
+/// commute, so running them concurrently reproduces the serial in-order
+/// result bit for bit.  Implementations rely on that contract: **every
+/// `apply_exchanges` call guarantees the pairs are node-disjoint** (no
+/// index occurs in more than one pair of the batch).
+pub trait ParallelProtocolStore<P>: ProtocolStore<P> + Send {
+    /// Applies every `(initiator, contact)` exchange of the node-disjoint
+    /// batch, using up to `pool`'s workers.  The resulting states must be
+    /// identical to applying the batch serially in slice order.
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds index or a pair with `initiator ==
+    /// contact`.
+    fn apply_exchanges(&mut self, pool: &rayon::ThreadPool, protocol: &P, pairs: &[(u32, u32)]);
+}
+
+/// A raw pointer that may cross thread boundaries.  Safety rests on the
+/// node-disjointness contract of [`ParallelProtocolStore`]: concurrent
+/// closures only ever dereference disjoint offsets.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<N, P> ParallelProtocolStore<P> for Vec<N>
+where
+    N: Send,
+    P: PairwiseProtocol<N> + Sync,
+{
+    fn apply_exchanges(&mut self, pool: &rayon::ThreadPool, protocol: &P, pairs: &[(u32, u32)]) {
+        let len = self.len();
+        for &(i, c) in pairs {
+            assert!(i != c && (i as usize) < len && (c as usize) < len, "bad exchange pair ({i}, {c})");
+        }
+        if pool.current_num_threads() <= 1 || pairs.len() < PARALLEL_EXCHANGE_THRESHOLD {
+            for &(i, c) in pairs {
+                self.apply_exchange(protocol, i as usize, c as usize);
+            }
+            return;
+        }
+        let base = SendPtr(self.as_mut_ptr());
+        pool.map_range(pairs.len(), |k| {
+            // Capture the SendPtr wrapper whole (2021 disjoint-field capture
+            // would otherwise grab the raw pointer, which is not Send).
+            let ptr = base;
+            let (i, c) = pairs[k];
+            // SAFETY: the batch is node-disjoint (trait contract) and both
+            // indices were bounds-checked above, so these two &mut borrows
+            // alias no other live reference.
+            let a = unsafe { &mut *ptr.0.add(i as usize) };
+            let b = unsafe { &mut *ptr.0.add(c as usize) };
+            protocol.exchange(a, b);
+        });
     }
 }
 

@@ -41,21 +41,23 @@ pub mod view;
 
 pub use churn::ChurnModel;
 pub use eesum::{EpidemicValue, EesState};
-pub use engine::{GossipEngine, PairwiseProtocol};
+pub use engine::{GossipEngine, PairwiseProtocol, ParallelProtocolStore};
 pub use metrics::ExchangeMetrics;
-pub use sim::{AsyncGossipEngine, AsyncNetworkConfig, LatencyModel, NetworkModel};
+pub use sim::{
+    AsyncGossipEngine, AsyncNetworkConfig, LatencyModel, NetworkModel, ShardedAsyncEngine,
+};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::churn::ChurnModel;
     pub use crate::decryption::{DecryptionProtocol, DecryptionSimReport};
-    pub use crate::dissemination::{DisseminationProtocol, MinIdState};
+    pub use crate::dissemination::{DisseminationProtocol, MinIdArena, MinIdState};
     pub use crate::eesum::{EesState, EesSumProtocol, EpidemicValue, PlainVector};
     pub use crate::engine::{GossipEngine, PairwiseProtocol};
     pub use crate::metrics::ExchangeMetrics;
     pub use crate::sim::{
         AsyncGossipEngine, AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel,
-        NetworkModel,
+        NetworkModel, ShardedAsyncEngine,
     };
     pub use crate::sum::{PushPullSum, SumState};
     pub use crate::view::LocalView;

@@ -127,6 +127,198 @@ impl NewscastOverlay {
     }
 }
 
+/// Struct-of-arrays Newscast overlay: the same maintenance protocol as
+/// [`NewscastOverlay`], but every node's bounded view lives in three flat
+/// lanes (peers, ages, lengths) instead of a per-node `Vec<ViewEntry>`.
+///
+/// Each node owns `capacity + 1` slots (the extra slot absorbs the transient
+/// over-full state between an insert and its truncation), so a ten-million
+/// node overlay with the paper's Λ = 30 is three allocations totalling a few
+/// hundred megabytes rather than ten million heap boxes.
+///
+/// The maintenance round consumes the *identical* RNG draw sequence as
+/// [`NewscastOverlay::run_round`] and reproduces [`LocalView`]'s
+/// dedup-freshest / stable-sort-by-age / truncate semantics exactly, so a
+/// run from the same seed is bit-identical to the boxed overlay (pinned by a
+/// test).
+#[derive(Debug, Clone)]
+pub struct NewscastArena {
+    capacity: usize,
+    peers: Vec<NodeId>,
+    ages: Vec<u32>,
+    lens: Vec<u32>,
+    rounds_run: u32,
+    // Scratch copies of the two pre-merge views of an exchange, reused
+    // across rounds so the hot loop never allocates.
+    scratch: Vec<(NodeId, u32)>,
+}
+
+/// Stable insertion sort of a view slice by age; matches the order produced
+/// by `Vec::sort_by_key` (also stable) in [`LocalView::insert`].
+fn sort_view_by_age(peers: &mut [NodeId], ages: &mut [u32]) {
+    for i in 1..ages.len() {
+        let mut j = i;
+        while j > 0 && ages[j - 1] > ages[j] {
+            ages.swap(j - 1, j);
+            peers.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+impl NewscastArena {
+    /// Builds an overlay with the same bootstrap draws (and therefore the
+    /// same initial views) as [`NewscastOverlay::bootstrap`].
+    ///
+    /// # Panics
+    /// Panics if `population < 2` or `view_size` is zero.
+    pub fn bootstrap<R: Rng + ?Sized>(population: usize, view_size: usize, rng: &mut R) -> Self {
+        assert!(population >= 2, "an overlay needs at least two nodes");
+        assert!(view_size > 0, "a local view needs a positive capacity");
+        let stride = view_size + 1;
+        let mut arena = Self {
+            capacity: view_size,
+            peers: vec![0; population * stride],
+            ages: vec![0; population * stride],
+            lens: vec![0; population],
+            rounds_run: 0,
+            scratch: Vec::with_capacity(2 * view_size),
+        };
+        for me in 0..population as NodeId {
+            let target = view_size.min(population - 1);
+            while (arena.lens[me as usize] as usize) < target {
+                let candidate = rng.gen_range(0..population as NodeId);
+                if candidate != me && !arena.view_peers(me).contains(&candidate) {
+                    arena.insert(me as usize, candidate, 0);
+                }
+            }
+        }
+        arena
+    }
+
+    /// Number of nodes.
+    pub fn population(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Maximum entries per view (the paper's Λ).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of maintenance rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// The peers currently in `node`'s view, freshest first.
+    pub fn view_peers(&self, node: NodeId) -> &[NodeId] {
+        let (start, len) = self.row(node as usize);
+        &self.peers[start..start + len]
+    }
+
+    /// The entry ages of `node`'s view, matching [`Self::view_peers`].
+    pub fn view_ages(&self, node: NodeId) -> &[u32] {
+        let (start, len) = self.row(node as usize);
+        &self.ages[start..start + len]
+    }
+
+    fn row(&self, node: usize) -> (usize, usize) {
+        (node * (self.capacity + 1), self.lens[node] as usize)
+    }
+
+    /// [`LocalView::insert`]: keep the freshest entry per peer and the
+    /// freshest `capacity` entries overall.
+    fn insert(&mut self, node: usize, peer: NodeId, age: u32) {
+        let (start, len) = self.row(node);
+        match self.peers[start..start + len].iter().position(|&p| p == peer) {
+            Some(k) => {
+                if age < self.ages[start + k] {
+                    self.ages[start + k] = age;
+                }
+            }
+            None => {
+                self.peers[start + len] = peer;
+                self.ages[start + len] = age;
+                self.lens[node] += 1;
+            }
+        }
+        let len = self.lens[node] as usize;
+        sort_view_by_age(
+            &mut self.peers[start..start + len],
+            &mut self.ages[start..start + len],
+        );
+        if len > self.capacity {
+            self.lens[node] = self.capacity as u32;
+        }
+    }
+
+    /// [`LocalView::merge_from`] against a pre-merge snapshot of the
+    /// sender's view held in `self.scratch[snapshot]`.
+    fn merge_from_scratch(
+        &mut self,
+        node: usize,
+        sender: NodeId,
+        snapshot: std::ops::Range<usize>,
+    ) {
+        self.insert(node, sender, 0);
+        for k in snapshot {
+            let (peer, age) = self.scratch[k];
+            if peer != node as NodeId {
+                self.insert(node, peer, age);
+            }
+        }
+    }
+
+    /// One maintenance round, consuming the same RNG draws as
+    /// [`NewscastOverlay::run_round`].
+    pub fn run_round<R: Rng + ?Sized>(&mut self, churn: ChurnModel, rng: &mut R) {
+        let population = self.lens.len();
+        let mut order: Vec<usize> = (0..population).collect();
+        order.shuffle(rng);
+        for node in order {
+            if !churn.is_online(rng) {
+                continue;
+            }
+            let Some(peer) = self.pick_contact(node as NodeId, rng) else { continue };
+            if peer as usize == node || !churn.is_online(rng) {
+                continue;
+            }
+            let (a, b) = (node, peer as usize);
+            self.scratch.clear();
+            let (a_start, a_len) = self.row(a);
+            for k in 0..a_len {
+                self.scratch.push((self.peers[a_start + k], self.ages[a_start + k]));
+            }
+            let split = self.scratch.len();
+            let (b_start, b_len) = self.row(b);
+            for k in 0..b_len {
+                self.scratch.push((self.peers[b_start + k], self.ages[b_start + k]));
+            }
+            let end = self.scratch.len();
+            self.merge_from_scratch(a, b as NodeId, split..end);
+            self.merge_from_scratch(b, a as NodeId, 0..split);
+        }
+        for node in 0..population {
+            let (start, len) = self.row(node);
+            for age in &mut self.ages[start..start + len] {
+                *age = age.saturating_add(1);
+            }
+        }
+        self.rounds_run += 1;
+    }
+
+    /// Picks a gossip contact for `node`: a random peer from its view.
+    pub fn pick_contact<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let (start, len) = self.row(node as usize);
+        if len == 0 {
+            None
+        } else {
+            Some(self.peers[start + rng.gen_range(0..len)])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +370,49 @@ mod tests {
         }
         let reachability = overlay.reachability_sample(100, 5, &mut rng);
         assert!(reachability > 0.8, "reachability under churn = {reachability}");
+    }
+
+    fn assert_views_bit_identical(arena: &NewscastArena, overlay: &NewscastOverlay) {
+        assert_eq!(arena.population(), overlay.population());
+        for n in 0..overlay.population() as NodeId {
+            let entries = overlay.view(n).entries();
+            let peers: Vec<NodeId> = entries.iter().map(|e| e.peer).collect();
+            let ages: Vec<u32> = entries.iter().map(|e| e.age).collect();
+            assert_eq!(arena.view_peers(n), peers.as_slice(), "peers of node {n}");
+            assert_eq!(arena.view_ages(n), ages.as_slice(), "ages of node {n}");
+        }
+    }
+
+    #[test]
+    fn arena_overlay_is_bit_identical_to_the_boxed_overlay() {
+        // Same seed, same draws, same dedup/sort/truncate semantics: the
+        // flat arena must reproduce the boxed overlay entry for entry (and
+        // leave the shared RNG in the same state) with and without churn.
+        for (seed, churn) in [(11u64, ChurnModel::NONE), (12, ChurnModel::new(0.3))] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut arena = NewscastArena::bootstrap(150, 12, &mut rng_a);
+            let mut overlay = NewscastOverlay::bootstrap(150, 12, &mut rng_b);
+            assert_views_bit_identical(&arena, &overlay);
+            for _ in 0..8 {
+                arena.run_round(churn, &mut rng_a);
+                overlay.run_round(churn, &mut rng_b);
+                assert_views_bit_identical(&arena, &overlay);
+            }
+            assert_eq!(arena.rounds_run(), overlay.rounds_run());
+            // The RNG streams stayed in lockstep throughout.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn arena_contacts_come_from_views() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let arena = NewscastArena::bootstrap(50, 8, &mut rng);
+        for _ in 0..20 {
+            let contact = arena.pick_contact(0, &mut rng).unwrap();
+            assert!(arena.view_peers(0).contains(&contact));
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! doubling budget) instead of corrupting a neighbouring unit.
 
 use crate::eesum::EesSumProtocol;
-use crate::engine::{ProtocolStore, StateStore};
+use crate::engine::{
+    pair_mut, ParallelProtocolStore, ProtocolStore, SendPtr, StateStore,
+    PARALLEL_EXCHANGE_THRESHOLD,
+};
 
 /// Flat struct-of-arrays storage of per-node EESum states over fixed-width
 /// multi-limb integer units.
@@ -97,6 +100,34 @@ impl EesUnitArena {
         self.limbs[start + limbs_le.len()..start + self.limbs_per_unit].fill(0);
     }
 
+    /// Writes one unit of one node from a little-endian digit iterator
+    /// (e.g. `BigUint::iter_u64_digits`), zero-filling the remaining limbs
+    /// — the allocation-free twin of [`Self::set_unit`] for bulk fills.
+    ///
+    /// # Panics
+    /// Panics if the iterator yields more digits than the unit width or
+    /// the indices are out of bounds.
+    pub fn set_unit_from_digits(
+        &mut self,
+        node: usize,
+        unit: usize,
+        digits_le: impl Iterator<Item = u64>,
+    ) {
+        let start = self.unit_offset(node, unit);
+        let window = &mut self.limbs[start..start + self.limbs_per_unit];
+        let mut len = 0;
+        for digit in digits_le {
+            assert!(
+                len < window.len(),
+                "unit value exceeds the arena's {}-limb unit width",
+                window.len()
+            );
+            window[len] = digit;
+            len += 1;
+        }
+        window[len..].fill(0);
+    }
+
     /// The little-endian limbs of one unit of one node.
     pub fn unit_limbs(&self, node: usize, unit: usize) -> &[u64] {
         let start = self.unit_offset(node, unit);
@@ -119,118 +150,201 @@ impl EesUnitArena {
         (node * self.units_per_node + unit) * self.limbs_per_unit
     }
 
-    fn node_range(&self, node: usize) -> std::ops::Range<usize> {
-        let stride = self.units_per_node * self.limbs_per_unit;
-        node * stride..(node + 1) * stride
-    }
+}
 
-    /// Scales every unit of `node` by `2^diff` (limb shift), panicking if
-    /// any unit would shift set bits out of its window — that is the
-    /// epidemic exceeding the doubling budget the lane plan promised, and
-    /// silently dropping bits would corrupt the decoded sums.
-    fn scale_node(&mut self, node: usize, diff: u32) {
-        let limbs_per_unit = self.limbs_per_unit;
-        let limb_shift = (diff / 64) as usize;
-        let bit_shift = diff % 64;
-        let range = self.node_range(node);
-        for unit in self.limbs[range].chunks_exact_mut(limbs_per_unit) {
-            // Check the top `diff` bits of the window are clear.
-            for (index, &limb) in unit.iter().enumerate().rev() {
-                if limb == 0 {
-                    continue;
-                }
-                let top_bit = index as u64 * 64 + (64 - limb.leading_zeros() as u64);
-                assert!(
-                    top_bit + u64::from(diff) <= limbs_per_unit as u64 * 64,
-                    "EESum doubling budget exceeded: scaling by 2^{diff} would overflow a \
-                     {limbs_per_unit}-limb arena unit (value uses {top_bit} bits)"
-                );
-                break;
-            }
-            // Word-granularity move, highest limb first.
-            if limb_shift > 0 {
-                for i in (0..limbs_per_unit).rev() {
-                    unit[i] = if i >= limb_shift { unit[i - limb_shift] } else { 0 };
-                }
-            }
-            if bit_shift > 0 {
-                let mut carry = 0u64;
-                for limb in unit.iter_mut() {
-                    let new_carry = *limb >> (64 - bit_shift);
-                    *limb = (*limb << bit_shift) | carry;
-                    carry = new_carry;
-                }
-                debug_assert_eq!(carry, 0, "carry-out already excluded by the bit check");
-            }
-        }
+/// Borrows the `stride`-limb windows of two distinct nodes mutably.
+fn node_windows_mut(
+    limbs: &mut [u64],
+    stride: usize,
+    a: usize,
+    b: usize,
+) -> (&mut [u64], &mut [u64]) {
+    // Borrow the two disjoint node windows once, so the hot limb loops run
+    // over slices (no per-limb bounds checks or offset math).
+    if a < b {
+        let (left, right) = limbs.split_at_mut(b * stride);
+        (&mut left[a * stride..(a + 1) * stride], &mut right[..stride])
+    } else {
+        let (left, right) = limbs.split_at_mut(a * stride);
+        (&mut right[..stride], &mut left[b * stride..(b + 1) * stride])
     }
+}
 
-    /// Adds every unit of `src` into the matching unit of `dst`, panicking
-    /// on a carry out of a unit window.
-    fn add_node(&mut self, dst: usize, src: usize) {
-        let limbs_per_unit = self.limbs_per_unit;
-        let stride = self.units_per_node * limbs_per_unit;
-        // Borrow the two disjoint node windows once, so the hot limb loop
-        // runs over slices (no per-limb bounds checks or offset math).
-        let (dst_window, src_window) = if dst < src {
-            let (left, right) = self.limbs.split_at_mut(src * stride);
-            (&mut left[dst * stride..(dst + 1) * stride], &right[..stride])
-        } else {
-            let (left, right) = self.limbs.split_at_mut(dst * stride);
-            (&mut right[..stride], &left[src * stride..(src + 1) * stride])
-        };
-        for (d_unit, s_unit) in
-            dst_window.chunks_exact_mut(limbs_per_unit).zip(src_window.chunks_exact(limbs_per_unit))
-        {
-            let mut carry = 0u128;
-            for (d, &s) in d_unit.iter_mut().zip(s_unit.iter()) {
-                let sum = u128::from(*d) + u128::from(s) + carry;
-                *d = sum as u64;
-                carry = sum >> 64;
+/// Scales every unit of a node window by `2^diff` (limb shift), panicking
+/// if any unit would shift set bits out of its window — that is the
+/// epidemic exceeding the doubling budget the lane plan promised, and
+/// silently dropping bits would corrupt the decoded sums.
+fn scale_units(window: &mut [u64], limbs_per_unit: usize, diff: u32) {
+    let limb_shift = (diff / 64) as usize;
+    let bit_shift = diff % 64;
+    for unit in window.chunks_exact_mut(limbs_per_unit) {
+        // Check the top `diff` bits of the window are clear.
+        for (index, &limb) in unit.iter().enumerate().rev() {
+            if limb == 0 {
+                continue;
             }
-            assert_eq!(
-                carry, 0,
-                "EESum accumulation overflowed a {limbs_per_unit}-limb arena unit: the \
-                 epidemic exceeded the planned lane capacity"
+            let top_bit = index as u64 * 64 + (64 - limb.leading_zeros() as u64);
+            assert!(
+                top_bit + u64::from(diff) <= limbs_per_unit as u64 * 64,
+                "EESum doubling budget exceeded: scaling by 2^{diff} would overflow a \
+                 {limbs_per_unit}-limb arena unit (value uses {top_bit} bits)"
             );
+            break;
+        }
+        // Word-granularity move, highest limb first.
+        if limb_shift > 0 {
+            for i in (0..limbs_per_unit).rev() {
+                unit[i] = if i >= limb_shift { unit[i - limb_shift] } else { 0 };
+            }
+        }
+        if bit_shift > 0 {
+            let mut carry = 0u64;
+            for limb in unit.iter_mut() {
+                let new_carry = *limb >> (64 - bit_shift);
+                *limb = (*limb << bit_shift) | carry;
+                carry = new_carry;
+            }
+            debug_assert_eq!(carry, 0, "carry-out already excluded by the bit check");
         }
     }
+}
 
-    /// Copies every unit of `src` over `dst`.
-    fn copy_node(&mut self, dst: usize, src: usize) {
-        let src_range = self.node_range(src);
-        let dst_start = self.node_range(dst).start;
-        self.limbs.copy_within(src_range, dst_start);
+/// Adds every unit of the `src` window into the matching unit of the `dst`
+/// window, panicking on a carry out of a unit window.
+fn add_units(dst: &mut [u64], src: &[u64], limbs_per_unit: usize) {
+    for (d_unit, s_unit) in
+        dst.chunks_exact_mut(limbs_per_unit).zip(src.chunks_exact(limbs_per_unit))
+    {
+        let mut carry = 0u128;
+        for (d, &s) in d_unit.iter_mut().zip(s_unit.iter()) {
+            let sum = u128::from(*d) + u128::from(s) + carry;
+            *d = sum as u64;
+            carry = sum >> 64;
+        }
+        assert_eq!(
+            carry, 0,
+            "EESum accumulation overflowed a {limbs_per_unit}-limb arena unit: the \
+             epidemic exceeded the planned lane capacity"
+        );
     }
+}
+
+/// The full Algorithm-2 exchange over two disjoint node windows: each
+/// argument is one node's `(limb window, weight, exchange counter)`.
+/// Factoring the rule over explicit borrows lets the serial path (safe
+/// `split_at_mut` windows) and the wave-parallel path (raw-pointer windows
+/// over a node-disjoint batch) share one implementation.
+fn exchange_windows(
+    limbs_per_unit: usize,
+    initiator: (&mut [u64], &mut f64, &mut u32),
+    contact: (&mut [u64], &mut f64, &mut u32),
+) {
+    let (i_limbs, i_weight, i_n) = initiator;
+    let (c_limbs, c_weight, c_n) = contact;
+    // Lines 1–5 of Algorithm 2: scale the lagging state to the common
+    // exchange count (identical to EesState::scale_to).
+    let target = (*i_n).max(*c_n);
+    let i_diff = target - *i_n;
+    if i_diff > 0 {
+        scale_units(i_limbs, limbs_per_unit, i_diff);
+        *i_weight *= 2f64.powi(i_diff as i32);
+    }
+    let c_diff = target - *c_n;
+    if c_diff > 0 {
+        scale_units(c_limbs, limbs_per_unit, c_diff);
+        *c_weight *= 2f64.powi(c_diff as i32);
+    }
+    // Line 6: combine into the initiator, bump the counter, and mirror the
+    // combined state onto the contact (push-pull symmetry).
+    add_units(i_limbs, c_limbs, limbs_per_unit);
+    *i_weight += *c_weight;
+    *i_n = target + 1;
+    c_limbs.copy_from_slice(i_limbs);
+    *c_weight = *i_weight;
+    *c_n = *i_n;
 }
 
 impl StateStore for EesUnitArena {
     fn population(&self) -> usize {
         self.population
     }
+
+    fn prefetch_node(&self, node: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            debug_assert!(node < self.population);
+            let start = node * self.units_per_node * self.limbs_per_unit;
+            // SAFETY: prefetch is a pure cache hint with no memory access
+            // semantics, and both addresses are in-bounds for the slabs.
+            // One line is enough: the hardware streamer follows the row
+            // once its head is resident.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(self.limbs.as_ptr().add(start).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(self.weights.as_ptr().add(node).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = node;
+    }
 }
 
 impl ProtocolStore<EesSumProtocol> for EesUnitArena {
     fn apply_exchange(&mut self, _protocol: &EesSumProtocol, initiator: usize, contact: usize) {
         assert_ne!(initiator, contact, "cannot exchange a node with itself");
-        // Lines 1–5 of Algorithm 2: scale the lagging state to the common
-        // exchange count (identical to EesState::scale_to).
-        let target = self.exchanges[initiator].max(self.exchanges[contact]);
-        for node in [initiator, contact] {
-            let diff = target - self.exchanges[node];
-            if diff > 0 {
-                self.scale_node(node, diff);
-                self.weights[node] *= 2f64.powi(diff as i32);
-            }
+        let limbs_per_unit = self.limbs_per_unit;
+        let stride = self.units_per_node * limbs_per_unit;
+        let (i_limbs, c_limbs) = node_windows_mut(&mut self.limbs, stride, initiator, contact);
+        let (i_weight, c_weight) = pair_mut(&mut self.weights, initiator, contact);
+        let (i_n, c_n) = pair_mut(&mut self.exchanges, initiator, contact);
+        exchange_windows(limbs_per_unit, (i_limbs, i_weight, i_n), (c_limbs, c_weight, c_n));
+    }
+}
+
+impl ParallelProtocolStore<EesSumProtocol> for EesUnitArena {
+    fn apply_exchanges(
+        &mut self,
+        pool: &rayon::ThreadPool,
+        protocol: &EesSumProtocol,
+        pairs: &[(u32, u32)],
+    ) {
+        let population = self.population;
+        for &(i, c) in pairs {
+            assert!(
+                i != c && (i as usize) < population && (c as usize) < population,
+                "bad exchange pair ({i}, {c})"
+            );
         }
-        // Line 6: combine into the initiator, bump the counter, and mirror
-        // the combined state onto the contact (push-pull symmetry).
-        self.add_node(initiator, contact);
-        self.weights[initiator] += self.weights[contact];
-        self.exchanges[initiator] = target + 1;
-        self.copy_node(contact, initiator);
-        self.weights[contact] = self.weights[initiator];
-        self.exchanges[contact] = self.exchanges[initiator];
+        if pool.current_num_threads() <= 1 || pairs.len() < PARALLEL_EXCHANGE_THRESHOLD {
+            for &(i, c) in pairs {
+                self.apply_exchange(protocol, i as usize, c as usize);
+            }
+            return;
+        }
+        let stride = self.units_per_node * self.limbs_per_unit;
+        let limbs_per_unit = self.limbs_per_unit;
+        let limbs = SendPtr(self.limbs.as_mut_ptr());
+        let weights = SendPtr(self.weights.as_mut_ptr());
+        let counters = SendPtr(self.exchanges.as_mut_ptr());
+        pool.map_range(pairs.len(), |k| {
+            // Capture the SendPtr wrappers whole (2021 disjoint-field
+            // capture would otherwise grab the raw pointers, which are
+            // deliberately not Send).
+            let (limbs, weights, counters) = (limbs, weights, counters);
+            let (i, c) = (pairs[k].0 as usize, pairs[k].1 as usize);
+            // SAFETY: the batch is node-disjoint (trait contract) and every
+            // index was bounds-checked above, so the windows and scalars
+            // reconstructed here alias no other live reference.
+            unsafe {
+                let i_limbs = std::slice::from_raw_parts_mut(limbs.0.add(i * stride), stride);
+                let c_limbs = std::slice::from_raw_parts_mut(limbs.0.add(c * stride), stride);
+                exchange_windows(
+                    limbs_per_unit,
+                    (i_limbs, &mut *weights.0.add(i), &mut *counters.0.add(i)),
+                    (c_limbs, &mut *weights.0.add(c), &mut *counters.0.add(c)),
+                );
+            }
+        });
     }
 }
 
@@ -367,6 +481,47 @@ mod tests {
         let total: f64 =
             (0..16).map(|n| arena.weight(n) / 2f64.powi(arena.exchange_counter(n) as i32)).sum();
         assert!((total - 1.0).abs() < 1e-9, "total unscaled weight = {total}");
+    }
+
+    #[test]
+    fn parallel_batch_application_matches_serial_application() {
+        // A node-disjoint batch big enough to trip the parallel threshold
+        // must leave the arena bit-identical to serial in-order application
+        // (the wave-parallel path of the sharded engine relies on this).
+        let population = 4096;
+        let mut serial = EesUnitArena::new(population, 1, 2);
+        for node in 0..population {
+            serial.set_unit(node, 0, &[node as u64 + 1]);
+        }
+        // Stagger some counters so the batch exercises the scaling path too.
+        for node in 0..population / 4 {
+            serial.exchanges[node * 4] = 3;
+        }
+        let mut parallel = serial.clone();
+        let pairs: Vec<(u32, u32)> =
+            (0..population as u32 / 2).map(|k| (2 * k, 2 * k + 1)).collect();
+        assert!(pairs.len() >= PARALLEL_EXCHANGE_THRESHOLD, "must trip the parallel path");
+        for &(i, c) in &pairs {
+            serial.apply_exchange(&EesSumProtocol, i as usize, c as usize);
+        }
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        parallel.apply_exchanges(&pool, &EesSumProtocol, &pairs);
+        assert_eq!(parallel.limbs, serial.limbs);
+        assert_eq!(parallel.weights, serial.weights);
+        assert_eq!(parallel.exchanges, serial.exchanges);
+    }
+
+    #[test]
+    fn set_unit_from_digits_matches_set_unit() {
+        let mut by_slice = EesUnitArena::new(2, 2, 4);
+        let mut by_iter = by_slice.clone();
+        by_slice.set_unit(1, 1, &[5, 6]);
+        by_iter.set_unit_from_digits(1, 1, [5u64, 6].into_iter());
+        assert_eq!(by_iter.limbs, by_slice.limbs);
+        // Stale high limbs are cleared exactly like set_unit.
+        by_slice.set_unit(1, 1, &[9]);
+        by_iter.set_unit_from_digits(1, 1, std::iter::once(9u64));
+        assert_eq!(by_iter.limbs, by_slice.limbs);
     }
 
     #[test]

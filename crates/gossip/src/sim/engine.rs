@@ -77,6 +77,17 @@ pub struct AsyncNetworkConfig {
     /// consumes no RNG draws (the predicate is deterministic), so it only
     /// moves the stopping time, never the event schedule.
     pub convergence_check_period: f64,
+    /// How many shards (and worker threads) the simulator uses.  `1` (the
+    /// default) runs the serial [`AsyncGossipEngine`] — the historical,
+    /// pinned event schedule.  Any other value routes the phase through the
+    /// sharded engine ([`ShardedAsyncEngine`](crate::sim::shard::ShardedAsyncEngine)):
+    /// `0` selects the machine's available parallelism, `n >= 2` uses
+    /// exactly `n` shards/workers.  The sharded engine draws its schedule
+    /// from per-event derived RNG streams, so its trajectory is a different
+    /// (equally valid) sample than the serial engine's — but it is bit-wise
+    /// invariant in both the shard count and the worker count (see
+    /// `sim::shard` module docs for the determinism contract).
+    pub sim_shards: usize,
 }
 
 impl Default for AsyncNetworkConfig {
@@ -90,6 +101,7 @@ impl Default for AsyncNetworkConfig {
             synchronized_start: false,
             crash: CrashSchedule::NONE,
             convergence_check_period: 0.0,
+            sim_shards: 1,
         }
     }
 }
@@ -161,6 +173,13 @@ impl AsyncNetworkConfig {
         self.convergence_check_period = period;
         self
     }
+
+    /// Replaces the shard/worker count (see
+    /// [`AsyncNetworkConfig::sim_shards`]).
+    pub fn with_sim_shards(mut self, sim_shards: usize) -> Self {
+        self.sim_shards = sim_shards;
+        self
+    }
 }
 
 /// The events the engine schedules.
@@ -185,7 +204,7 @@ enum EventKind {
 /// [`ProtocolStore`]): the natural `Vec<N>` array-of-structs layout, or a
 /// struct-of-arrays arena such as
 /// [`EesUnitArena`](crate::sim::arena::EesUnitArena) whose flat allocations
-/// let 100k–1M-node populations stream through the event queue.  The event
+/// let 100k–10M-node populations stream through the event queue.  The event
 /// loop is storage-agnostic and consumes identical RNG draws either way.
 #[derive(Debug, Clone)]
 pub struct AsyncGossipEngine<S> {
@@ -284,18 +303,7 @@ impl<S: StateStore> AsyncGossipEngine<S> {
 
     /// The deterministic per-edge latency factor (pure hash of the pair).
     fn edge_factor(&self, a: usize, b: usize) -> f64 {
-        let spread = self.config.edge_spread;
-        if spread == 0.0 {
-            return 1.0;
-        }
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        // SplitMix64 finalizer over (edge, salt).
-        let mut x = ((lo as u64) << 32 | hi as u64).wrapping_add(self.config.edge_salt);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        1.0 - spread + 2.0 * spread * unit
+        edge_factor(self.config.edge_spread, self.config.edge_salt, a, b)
     }
 
     /// Schedules every node's first initiation (staggered or synchronized).
@@ -314,10 +322,56 @@ impl<S: StateStore> AsyncGossipEngine<S> {
 
     /// Records one round per exchange period fully elapsed by `time`.
     fn record_periods_up_to(&mut self, time: f64) {
-        let period = self.config.exchange_period;
-        while (self.periods_recorded + 1) as f64 * period <= time + 1e-9 {
-            self.metrics.record_round();
-            self.periods_recorded += 1;
+        record_rounds_up_to(
+            &mut self.metrics,
+            &mut self.periods_recorded,
+            self.config.exchange_period,
+            time,
+        );
+    }
+}
+
+/// The deterministic per-edge latency factor: a pure SplitMix64 hash of
+/// `(edge, salt)` mapped into `[1 − spread, 1 + spread]`.  Shared by the
+/// serial and sharded engines so both see the same heterogeneous network.
+pub(crate) fn edge_factor(spread: f64, salt: u64, a: usize, b: usize) -> f64 {
+    if spread == 0.0 {
+        return 1.0;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    // SplitMix64 finalizer over (edge, salt).
+    let mut x = ((lo as u64) << 32 | hi as u64).wrapping_add(salt);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 - spread + 2.0 * spread * unit
+}
+
+/// Records one round per exchange period boundary fully elapsed by `time`,
+/// shared by the serial and sharded engines.
+///
+/// The boundary test needs slack because `time` reaches a boundary through
+/// accumulated additions (horizon + duration, event times) while the
+/// boundary itself is computed as `k * period` — the two can disagree by
+/// rounding noise.  An absolute `1e-9` covers that at small times, but at
+/// the simulated times a 10M-node run reaches (≥ 1e7) a single f64 ULP
+/// already exceeds `1e-9`, so the slack is additionally scaled to a few
+/// ULPs of the boundary's own magnitude.
+pub(crate) fn record_rounds_up_to(
+    metrics: &mut ExchangeMetrics,
+    periods_recorded: &mut u64,
+    period: f64,
+    time: f64,
+) {
+    loop {
+        let boundary = (*periods_recorded + 1) as f64 * period;
+        let slack = 1e-9_f64.max(boundary * 4.0 * f64::EPSILON);
+        if boundary <= time + slack {
+            metrics.record_round();
+            *periods_recorded += 1;
+        } else {
+            break;
         }
     }
 }
@@ -387,6 +441,10 @@ impl<S: StateStore> AsyncGossipEngine<S> {
                     self.nodes.apply_exchange(protocol, initiator, contact);
                     self.metrics.record_exchange();
                     if on_exchange(&self.nodes, initiator, contact, time) {
+                        // Mirror the normal exit: the in-flight integral and
+                        // the round accounting are both brought up to the
+                        // stop time before control returns to the caller.
+                        self.sim.advance(time);
                         self.record_periods_up_to(time);
                         self.horizon = time;
                         return true;
@@ -477,5 +535,67 @@ impl<N> AsyncGossipEngine<Vec<N>> {
             false
         });
         tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A toy protocol: both peers keep the max of their values.
+    struct MaxProtocol;
+
+    impl PairwiseProtocol<u64> for MaxProtocol {
+        fn exchange(&self, a: &mut u64, b: &mut u64) {
+            let m = (*a).max(*b);
+            *a = m;
+            *b = m;
+        }
+    }
+
+    #[test]
+    fn early_stop_advances_the_in_flight_integral_to_the_stop_time() {
+        // Two nodes, synchronized start, constant latency 0.5: both requests
+        // depart at t = 0 (two messages in flight), and the first delivery at
+        // t = 0.5 converges the pair, stopping the run early.  The in-flight
+        // integral must cover the full [0, 0.5) stretch at stop time, so the
+        // mean over the stopped horizon is exactly 2 messages.
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::Constant(0.5))
+            .with_synchronized_start(true);
+        let mut engine = AsyncGossipEngine::new(vec![1u64, 7u64], config, ChurnModel::NONE);
+        let mut rng = StdRng::seed_from_u64(5);
+        let converged = engine.run_until(&MaxProtocol, 10.0, &mut rng, |nodes: &Vec<u64>| {
+            nodes.iter().all(|&v| v == 7)
+        });
+        assert!(converged, "the pair must converge at the first delivery");
+        assert!((engine.now() - 0.5).abs() < 1e-12, "stop time {}", engine.now());
+        let mean = engine.sim_metrics().mean_in_flight(engine.now());
+        assert!((mean - 2.0).abs() < 1e-12, "mean in-flight {mean} (integral not advanced to the stop time)");
+        assert_eq!(engine.sim_metrics().peak_in_flight, 2);
+    }
+
+    #[test]
+    fn round_accounting_stays_exact_at_large_sim_times() {
+        // At sim times >= 1e7 one f64 ULP exceeds the historical absolute
+        // 1e-9 slack: with period 2.5e7/11 the 11th boundary (11 * period)
+        // rounds ~3.7e-9 ABOVE the exactly-representable horizon 2.5e7, so
+        // an absolute slack miscounts the final boundary round.  The
+        // ULP-scaled slack must record all 11.
+        let period = 2.5e7 / 11.0;
+        let config = AsyncNetworkConfig::default()
+            .with_synchronized_start(true)
+            .with_latency(LatencyModel::ZERO);
+        let config = AsyncNetworkConfig { exchange_period: period, ..config };
+        let mut engine = AsyncGossipEngine::new(vec![0u64, 1u64], config, ChurnModel::NONE);
+        let mut rng = StdRng::seed_from_u64(9);
+        engine.run_for(&MaxProtocol, 2.5e7, &mut rng);
+        assert_eq!(
+            engine.metrics().rounds(),
+            11,
+            "boundary round at t = 2.5e7 miscounted by the period slack"
+        );
     }
 }

@@ -31,6 +31,7 @@ pub mod latency;
 pub mod metrics;
 pub mod queue;
 pub mod schedule;
+pub mod shard;
 
 pub use arena::EesUnitArena;
 pub use engine::{AsyncGossipEngine, AsyncNetworkConfig};
@@ -38,12 +39,13 @@ pub use latency::LatencyModel;
 pub use metrics::{ConvergenceTimes, SimMetrics};
 pub use queue::EventQueue;
 pub use schedule::{CrashSchedule, CrashWindow};
+pub use shard::ShardedAsyncEngine;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnModel;
-use crate::engine::{GossipEngine, PairwiseProtocol};
+use crate::engine::{GossipEngine, PairwiseProtocol, ParallelProtocolStore};
 use crate::metrics::ExchangeMetrics;
 
 /// How gossip phases are simulated: the synchronous round engine (the
@@ -113,6 +115,11 @@ pub struct PhaseOutcome<N> {
 /// arithmetic, clock read-out, metrics extraction — shared by
 /// [`run_phase`]'s async arm and the runner's arena-backed scale path, so
 /// the two storages can never drift out of RNG-draw or accounting lockstep.
+///
+/// [`AsyncNetworkConfig::sim_shards`] picks the engine: `1` (the default)
+/// keeps the serial [`AsyncGossipEngine`] and its historical, pinned event
+/// schedule; any other value routes the phase through the sharded
+/// multi-worker [`ShardedAsyncEngine`].
 pub fn run_async_phase<S, P, R>(
     config: &AsyncNetworkConfig,
     nodes: S,
@@ -122,15 +129,63 @@ pub fn run_async_phase<S, P, R>(
     rng: &mut R,
 ) -> (S, ExchangeMetrics, f64, SimMetrics)
 where
-    S: crate::engine::ProtocolStore<P>,
+    S: ParallelProtocolStore<P>,
+    P: Sync,
     R: Rng + ?Sized,
 {
-    let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
     let horizon = f64::from(budget_rounds) * config.exchange_period;
-    engine.run_for(protocol, horizon, rng);
-    let sim_time = engine.now();
-    let (nodes, metrics, sim) = engine.into_parts();
-    (nodes, metrics, sim_time, sim)
+    if config.sim_shards == 1 {
+        let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
+        engine.run_for(protocol, horizon, rng);
+        let sim_time = engine.now();
+        let (nodes, metrics, sim) = engine.into_parts();
+        (nodes, metrics, sim_time, sim)
+    } else {
+        let mut engine = ShardedAsyncEngine::new(nodes, config.clone(), churn);
+        engine.run_for(protocol, horizon, rng);
+        let sim_time = engine.now();
+        let (nodes, metrics, sim) = engine.into_parts();
+        (nodes, metrics, sim_time, sim)
+    }
+}
+
+/// [`run_async_phase`] with a store-level convergence predicate: runs until
+/// `done` holds or the budget is exhausted, returning the store, the
+/// accounting, and whether the predicate was satisfied.  Used by the
+/// runner's arena-backed dissemination phase, which needs predicates over
+/// non-`Vec` storage.  Engine selection follows
+/// [`AsyncNetworkConfig::sim_shards`] exactly as in [`run_async_phase`];
+/// note the sharded engine evaluates the predicate at window barriers
+/// rather than after every exchange (see [`ShardedAsyncEngine::run_until`]).
+pub fn run_async_phase_until<S, P, R, F>(
+    config: &AsyncNetworkConfig,
+    nodes: S,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+    done: F,
+) -> (S, ExchangeMetrics, f64, SimMetrics, bool)
+where
+    S: ParallelProtocolStore<P>,
+    P: Sync,
+    R: Rng + ?Sized,
+    F: FnMut(&S) -> bool,
+{
+    let horizon = f64::from(budget_rounds) * config.exchange_period;
+    if config.sim_shards == 1 {
+        let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
+        let converged = engine.run_until(protocol, horizon, rng, done);
+        let sim_time = engine.now();
+        let (nodes, metrics, sim) = engine.into_parts();
+        (nodes, metrics, sim_time, sim, converged)
+    } else {
+        let mut engine = ShardedAsyncEngine::new(nodes, config.clone(), churn);
+        let converged = engine.run_until(protocol, horizon, rng, done);
+        let sim_time = engine.now();
+        let (nodes, metrics, sim) = engine.into_parts();
+        (nodes, metrics, sim_time, sim, converged)
+    }
 }
 
 /// Runs one gossip phase to its full budget: `budget_rounds` rounds on the
@@ -145,7 +200,8 @@ pub fn run_phase<N, P, R>(
     rng: &mut R,
 ) -> PhaseOutcome<N>
 where
-    P: PairwiseProtocol<N>,
+    N: Send,
+    P: PairwiseProtocol<N> + Sync,
     R: Rng + ?Sized,
 {
     match network {
@@ -192,7 +248,8 @@ pub fn run_phase_until<N, P, R, F>(
     mut done: F,
 ) -> PhaseOutcome<N>
 where
-    P: PairwiseProtocol<N>,
+    N: Send,
+    P: PairwiseProtocol<N> + Sync,
     R: Rng + ?Sized,
     F: FnMut(&[N]) -> bool,
 {
@@ -212,11 +269,15 @@ where
             }
         }
         NetworkModel::Async(config) => {
-            let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
-            let horizon = f64::from(budget_rounds) * config.exchange_period;
-            let converged = engine.run_until(protocol, horizon, rng, |nodes: &Vec<N>| done(nodes));
-            let sim_time = engine.now();
-            let (nodes, metrics, sim) = engine.into_parts();
+            let (nodes, metrics, sim_time, sim, converged) = run_async_phase_until(
+                config,
+                nodes,
+                churn,
+                protocol,
+                budget_rounds,
+                rng,
+                |nodes: &Vec<N>| done(nodes),
+            );
             PhaseOutcome {
                 nodes,
                 metrics,
@@ -550,6 +611,77 @@ mod tests {
             engine.run_until(&MaxProtocol, 50.0, &mut rng, |nodes: &Vec<u64>| nodes.iter().all(|&v| v == 63));
         assert!(done, "the max must still be detected with throttled checks");
         assert!(engine.now() < 50.0, "convergence detected before the horizon");
+    }
+
+    #[test]
+    fn async_phase_dispatch_pins_the_serial_default_and_routes_shards() {
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::LogNormal { median: 0.3, sigma: 0.5 })
+            .with_loss(0.05);
+
+        // sim_shards = 1 (the default) must be byte-identical — states,
+        // counters, RNG stream — to driving the serial engine directly, so
+        // threading the knob can never move a pinned scenario seed.
+        let mut direct_rng = StdRng::seed_from_u64(23);
+        let mut engine =
+            AsyncGossipEngine::new(sum_states(40), config.clone(), ChurnModel::new(0.1));
+        engine.run_for(&PushPullSum, 10.0, &mut direct_rng);
+
+        let mut phase_rng = StdRng::seed_from_u64(23);
+        let (nodes, metrics, sim_time, sim) = run_async_phase(
+            &config,
+            sum_states(40),
+            ChurnModel::new(0.1),
+            &PushPullSum,
+            10,
+            &mut phase_rng,
+        );
+        assert_eq!(direct_rng, phase_rng, "dispatch must consume the exact same draws");
+        assert_eq!(&nodes, engine.nodes());
+        assert_eq!(&metrics, engine.metrics());
+        assert_eq!(sim_time, engine.now());
+        assert_eq!(&sim, engine.sim_metrics());
+
+        // Any other value routes through the sharded engine, whose results
+        // are bit-invariant in the shard count.
+        let sharded = |shards: usize| {
+            let mut rng = StdRng::seed_from_u64(23);
+            run_async_phase(
+                &config.clone().with_sim_shards(shards),
+                sum_states(40),
+                ChurnModel::new(0.1),
+                &PushPullSum,
+                10,
+                &mut rng,
+            )
+        };
+        let (nodes_2, metrics_2, time_2, sim_2) = sharded(2);
+        let (nodes_4, metrics_4, time_4, sim_4) = sharded(4);
+        assert_eq!(nodes_2, nodes_4, "sharded dispatch must be shard-count invariant");
+        assert_eq!(metrics_2, metrics_4);
+        assert_eq!(time_2, time_4);
+        assert_eq!(sim_2, sim_4);
+        assert!(metrics_2.exchanges() > 0);
+    }
+
+    #[test]
+    fn run_phase_until_converges_on_the_sharded_engine() {
+        let config = AsyncNetworkConfig::default()
+            .with_latency(LatencyModel::LogNormal { median: 0.2, sigma: 0.5 })
+            .with_sim_shards(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = run_phase_until(
+            &NetworkModel::Async(config),
+            (0..64u64).collect(),
+            ChurnModel::NONE,
+            &MaxProtocol,
+            40,
+            &mut rng,
+            |nodes: &[u64]| nodes.iter().all(|&v| v == 63),
+        );
+        assert!(outcome.converged);
+        assert!(outcome.sim_time > 0.0 && outcome.sim_time < 40.0);
+        assert!(outcome.messages_sent > 0);
     }
 
     #[test]

@@ -354,6 +354,11 @@ impl BigUint {
         self.limbs.clone()
     }
 
+    /// Iterates the little-endian 64-bit digits without allocating.
+    pub fn iter_u64_digits(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.limbs.iter().copied()
+    }
+
     /// The value as `u64` if it fits.
     pub fn to_u64(&self) -> Option<u64> {
         match self.limbs.len() {

@@ -16,7 +16,8 @@
 //! modular exponentiation or a full participant encryption, microseconds to
 //! milliseconds apiece, so per-item synchronisation cost is irrelevant).
 //! Results are returned in input order whatever the execution interleaving,
-//! and a panic in any worker propagates to the caller.
+//! and a panic in any worker poisons the shared cursor (siblings stop
+//! claiming work promptly) before propagating to the caller.
 //!
 //! Determinism: the pool never touches randomness and the output order is
 //! fixed, so `map_range(len, f)` returns bit-identical results whatever
@@ -118,7 +119,16 @@ impl ThreadPool {
                             if i >= len {
                                 break;
                             }
-                            out.push((i, f(i)));
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                                Ok(value) => out.push((i, value)),
+                                Err(payload) => {
+                                    // Poison the cursor so sibling workers stop
+                                    // claiming items instead of draining the rest
+                                    // of the range while this panic is pending.
+                                    cursor.store(len, Ordering::Relaxed);
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
                         }
                         out
                     })
@@ -234,6 +244,30 @@ mod tests {
             })
         });
         assert!(result.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn a_panic_poisons_the_cursor_so_siblings_stop_early() {
+        // A panic at item 0 of a huge range must not leave the other workers
+        // draining the remaining ten million items before the panic can
+        // propagate: the panicking worker stores `len` into the shared cursor
+        // first, so siblings run off the end on their next claim.
+        let len = 10_000_000usize;
+        let visited = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool(4).map_range(len, |i| {
+                if i == 0 {
+                    panic!("poison");
+                }
+                visited.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        let count = visited.load(Ordering::Relaxed);
+        assert!(
+            count < len / 2,
+            "siblings kept draining the cursor after the panic: {count} of {len} items ran"
+        );
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub struct ScenarioSpec {
     /// crash/rejoin.  The matrix asserts async scenarios reach the same
     /// clustering quality as the synchronous engine from the same seed.
     pub network: NetworkModel,
+    /// Simulator shard count for the asynchronous engine (1 = the serial
+    /// event queue, `n ≥ 2` = the sharded windowed engine with `n`
+    /// workers).  Outcomes are bit-invariant in the shard count of the
+    /// sharded engine — the matrix asserts it explicitly.  Ignored under
+    /// [`NetworkModel::Rounds`].
+    pub sim_shards: usize,
     /// Runs the distributed pipeline on the plaintext-surrogate cipher
     /// backend (exact plaintext lane sums, no modular arithmetic) instead
     /// of Damgård–Jurik.  Backend setup preserves RNG parity, so surrogate
@@ -135,7 +141,7 @@ impl ScenarioSpec {
     /// the seed tests use: the crypto path is identical, only slower at the
     /// paper's 1024-bit setting).
     pub fn params(&self) -> ChiaroscuroParams {
-        ChiaroscuroParams::builder()
+        let mut builder = ChiaroscuroParams::builder()
             .k(self.k)
             .epsilon(self.epsilon)
             .strategy(self.strategy)
@@ -147,8 +153,11 @@ impl ScenarioSpec {
             .churn(self.churn)
             .pool_threads(self.pool_threads)
             .lane_packing(self.lane_packing)
-            .network(self.network.clone())
-            .build()
+            .network(self.network.clone());
+        if self.sim_shards > 1 {
+            builder = builder.sim_shards(self.sim_shards);
+        }
+        builder.build()
     }
 
     /// Runs the distributed pipeline and the centralized surrogate.

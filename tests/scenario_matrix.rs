@@ -35,6 +35,7 @@ fn baseline() -> ScenarioSpec {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         surrogate: false,
         key_bits: 256,
     }
@@ -64,6 +65,7 @@ fn scenario_churn_uniform_fast() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         surrogate: false,
         key_bits: 256,
     }
@@ -88,6 +90,7 @@ fn scenario_three_clusters_larger_population() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         surrogate: false,
         key_bits: 256,
     }
@@ -115,6 +118,7 @@ fn scenario_tight_budget_greedy_floor() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         surrogate: false,
         key_bits: 256,
     }
@@ -140,6 +144,7 @@ fn scenario_churn_and_tight_budget_combined() {
         exchanges: 14,
         lane_packing: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         surrogate: false,
         key_bits: 256,
     }
@@ -233,6 +238,7 @@ fn scenario_lane_packing_is_bit_exact_with_legacy() {
             exchanges: 8,
             lane_packing: false,
             network: NetworkModel::Rounds,
+        sim_shards: 1,
             surrogate: false,
             key_bits: 256,
         },
@@ -357,6 +363,40 @@ fn scenario_async_crash_rejoin_keeps_structure() {
     );
     let outcome = spec.run();
     outcome.assert_all();
+}
+
+#[test]
+fn scenario_async_sharded_engine_keeps_quality_and_is_shard_count_agnostic() {
+    // The sharded windowed engine end-to-end: an async WAN scenario driven
+    // through `sim_shards ≥ 2` must pass the full assertion battery
+    // (structure vs the centralized surrogate, R2 audit, budget), and the
+    // whole outcome — centroids, network stats, audit — must be a pure
+    // function of the seed, not of the shard count.
+    let mut spec = baseline();
+    spec.name = "async-sharded-wan";
+    spec.network = wan_network();
+    spec.sim_shards = 3;
+    let sharded = spec.run();
+    sharded.assert_all();
+    for stats in &sharded.distributed.network {
+        assert!(stats.gossip_sim_time > 0.0);
+        assert!(stats.peak_messages_in_flight > 0);
+    }
+
+    let mut other = spec.clone();
+    other.name = "async-sharded-wan-5";
+    other.sim_shards = 5;
+    let resharded = other.run();
+    let a: Vec<Vec<f64>> =
+        sharded.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    let b: Vec<Vec<f64>> =
+        resharded.distributed.centroids().iter().map(|c| c.values().to_vec()).collect();
+    assert_eq!(a, b, "the shard count must not change a single decoded bit");
+    assert_eq!(sharded.distributed.network, resharded.distributed.network);
+    assert_eq!(
+        sharded.distributed.audit.events().len(),
+        resharded.distributed.audit.events().len()
+    );
 }
 
 #[test]
@@ -516,6 +556,7 @@ fn scenario_scale_100k_surrogate_async() {
                 // once per simulated period is plenty at this scale.
                 .with_convergence_check_period(1.0),
         ),
+        sim_shards: 1,
         surrogate: true,
         key_bits: 1024, // paper-scale layout: the lane plan must fit 100k budgets
     };
@@ -545,6 +586,7 @@ fn scenario_scale_100k_surrogate_async() {
         key_bits: 256,
         surrogate: false,
         network: NetworkModel::Rounds,
+        sim_shards: 1,
         pool_threads: 1,
         ..scale_spec
     };
