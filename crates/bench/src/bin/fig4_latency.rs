@@ -188,6 +188,7 @@ fn iteration_model_part(args: &Args) {
             cleartext_bytes_per_mean: cleartext_per_mean,
             lanes_per_ciphertext: lanes,
             counter_ciphertexts: if lanes == 1 { 0 } else { 1 },
+            frame_overhead_bytes: 0,
         };
         let shape = SetShape::from_wire_model(&wire);
         let ciphertexts = shape.ciphertexts_per_set;

@@ -1,0 +1,165 @@
+//! Framed-socket transport throughput: how fast the versioned frame codec
+//! moves protocol-sized payloads between two processes' worth of endpoints.
+//!
+//! The coordinator drives every node link in sequential lockstep, so the
+//! number that matters for a deployment is the *round-trip* rate of one
+//! `FramedSocketTransport` link: send a frame, block until the echoed reply
+//! arrives, repeat.  This harness measures exactly that over a Unix-domain
+//! socket pair (an echo thread owns the far end) across the payload sizes
+//! the protocol actually ships — empty control events, dissemination
+//! corrections, and Damgård–Jurik means payloads at bench and production
+//! key sizes.
+//!
+//! ```text
+//! cargo run --release --bin socket_throughput -- \
+//!     --frames 5000 --json-out BENCH_socket.json
+//! ```
+//!
+//! Emits `BENCH_socket.json` with one record per payload size:
+//! round-trips/sec, frames/sec, and MB/s of encoded bytes on the wire.
+
+use chiaroscuro_bench::{Args, Json, Table};
+
+#[cfg(unix)]
+fn main() {
+    unix::main();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("# socket_throughput requires Unix-domain sockets; skipping");
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    use chiaroscuro_node::{Frame, FramedSocketTransport, NodeEvent, Transport, COORDINATOR};
+
+    use super::{Args, Json, Table};
+
+    /// A measurement-bearing frame the echo thread bounces straight back.
+    const KIND_ECHO: u8 = 0xEE;
+
+    /// The payload sizes the protocol actually puts on the wire.
+    const WORKLOADS: &[(&str, usize)] = &[
+        ("control event (InitiateExchange)", 0),
+        ("counter exchange (sigma, omega)", 16),
+        ("correction payload (k=10, n=24)", 2_008),
+        ("means frame, 256-bit keys, k=2, n=4", 725),
+        ("means frame, 2048-bit keys, k=2, n=4", 5_653),
+        ("means frame, 2048-bit keys, k=10, n=24", 128_533),
+    ];
+
+    pub fn main() {
+        let args = Args::from_env();
+        let frames = args.get("frames", 5_000u64);
+        let warmup = args.get("warmup", 200u64);
+        let json_out = args.get_str("json-out", "BENCH_socket.json");
+
+        eprintln!("# socket_throughput: FramedSocketTransport round trips over a UDS pair");
+        eprintln!("# frames per workload: {frames} (+{warmup} warm-up)");
+
+        let (near, far) = UnixStream::pair().expect("creating the socketpair");
+        let mut link = FramedSocketTransport::new(near);
+        let echo = std::thread::spawn(move || echo_loop(FramedSocketTransport::new(far)));
+
+        let mut table = Table::new(
+            "Framed-socket round-trip throughput",
+            &["workload", "payload B", "frame B", "round-trips/s", "frames/s", "MB/s"],
+        );
+        let mut records = Vec::new();
+        for &(label, payload_bytes) in WORKLOADS {
+            let m = measure(&mut link, payload_bytes, frames, warmup);
+            table.row(&[
+                label.to_string(),
+                format!("{payload_bytes}"),
+                format!("{}", m.frame_bytes),
+                format!("{:.0}", m.round_trips_per_sec),
+                format!("{:.0}", 2.0 * m.round_trips_per_sec),
+                format!("{:.1}", m.megabytes_per_sec),
+            ]);
+            records.push(
+                Json::object()
+                    .set("workload", label)
+                    .set("payload_bytes", payload_bytes)
+                    .set("frame_bytes", m.frame_bytes)
+                    .set("round_trips", frames)
+                    .set("elapsed_secs", m.elapsed_secs)
+                    .set("round_trips_per_sec", m.round_trips_per_sec)
+                    .set("frames_per_sec", 2.0 * m.round_trips_per_sec)
+                    .set("megabytes_per_sec", m.megabytes_per_sec),
+            );
+        }
+
+        // A clean shutdown so the echo thread's recv loop terminates.
+        link.send(&NodeEvent::Shutdown.into_frame(COORDINATOR, 0)).expect("shutdown frame");
+        echo.join().expect("echo thread");
+
+        table.print();
+        let doc = Json::object()
+            .set("bench", "socket_throughput")
+            .set("transport", "FramedSocketTransport over UnixStream::pair")
+            .set("frames_per_workload", frames)
+            .set("warmup_frames", warmup)
+            .set("header_bytes", chiaroscuro_node::frame::HEADER_BYTES)
+            .set("results", Json::Array(records));
+        std::fs::write(&json_out, doc.render()).expect("writing the bench artifact");
+        println!("\nwrote {json_out}");
+    }
+
+    struct Measurement {
+        frame_bytes: usize,
+        elapsed_secs: f64,
+        round_trips_per_sec: f64,
+        megabytes_per_sec: f64,
+    }
+
+    /// Round-trips `frames` echo frames of one payload size and times them.
+    fn measure(
+        link: &mut FramedSocketTransport<UnixStream>,
+        payload_bytes: usize,
+        frames: u64,
+        warmup: u64,
+    ) -> Measurement {
+        let frame = Frame {
+            kind: KIND_ECHO,
+            from: COORDINATOR,
+            to: 0,
+            payload: vec![0xA5; payload_bytes],
+        };
+        let round_trip = |link: &mut FramedSocketTransport<UnixStream>| {
+            link.send(&frame).expect("sending an echo frame");
+            let reply = link.recv().expect("receiving the echoed frame");
+            assert_eq!(reply.payload.len(), payload_bytes, "echo must preserve the payload");
+        };
+        for _ in 0..warmup {
+            round_trip(link);
+        }
+        let start = Instant::now();
+        for _ in 0..frames {
+            round_trip(link);
+        }
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        // Each round trip moves the encoded frame twice (out and back).
+        let wire_bytes = 2 * frames as usize * frame.encoded_len();
+        Measurement {
+            frame_bytes: frame.encoded_len(),
+            elapsed_secs,
+            round_trips_per_sec: frames as f64 / elapsed_secs,
+            megabytes_per_sec: wire_bytes as f64 / elapsed_secs / 1e6,
+        }
+    }
+
+    /// Bounces every frame back until the coordinator says `Shutdown`.
+    fn echo_loop(mut link: FramedSocketTransport<UnixStream>) {
+        loop {
+            let frame = link.recv().expect("echo recv");
+            if NodeEvent::from_frame(&frame).is_ok_and(|e| matches!(e, NodeEvent::Shutdown)) {
+                return;
+            }
+            link.send(&frame).expect("echo send");
+        }
+    }
+}

@@ -7,6 +7,68 @@ use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
 use chiaroscuro_gossip::sim::NetworkModel;
 use chiaroscuro_kmeans::perturbed::Smoothing;
 
+/// A typed rejection from [`ChiaroscuroParams::validate_for_population`]:
+/// a parameter combination that is well-formed in isolation but wrong for
+/// the run it is about to drive.  Unlike the panicking [`validate`]
+/// (nonsensical values — k = 0, ε ≤ 0 — that no caller can meaningfully
+/// handle), these are configuration mistakes a harness may want to report
+/// or fall back from, so they surface as values.
+///
+/// [`validate`]: ChiaroscuroParams::validate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_noise_shares > population`: the collaborative noise would be a
+    /// permanent deficit and the DP guarantee would silently not hold.
+    NoiseShareDeficit {
+        /// The configured number of noise shares `nν`.
+        num_noise_shares: usize,
+        /// The concrete population the run would cover.
+        population: usize,
+    },
+    /// `sim_shards > 1` requested while the network model is round-based:
+    /// shards only apply to the event-driven (`Async`) simulator, so the
+    /// request would be silently ignored.
+    SimShardsUnderRounds {
+        /// The requested shard count.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoiseShareDeficit { num_noise_shares, population } => write!(
+                f,
+                "num_noise_shares ({num_noise_shares}) exceeds the population ({population}): \
+                 the collaborative noise would be a permanent deficit and the DP guarantee \
+                 would not hold"
+            ),
+            ConfigError::SimShardsUnderRounds { requested } => write!(
+                f,
+                "sim_shards ({requested}) applies to the event-driven simulator, but the \
+                 network model is round-based; select NetworkModel::Async with .network(..)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How protocol frames travel between the coordinator and the node actors
+/// when a run is driven through `DistributedRun::via_actors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Channel-backed in-memory links (`chiaroscuro_node::InMemoryTransport`
+    /// behind a `LocalBus`): every frame still crosses the real codec and a
+    /// thread boundary, with no socket syscalls.  The default.
+    InMemory,
+    /// Unix-domain socket pairs with length-prefixed frames
+    /// (`chiaroscuro_node::FramedSocketTransport`): the deployment-shaped
+    /// path, byte-identical to a multi-process cluster.  Reported payload
+    /// sizes include the per-message frame overhead actually transmitted.
+    UnixSocket,
+}
+
 /// All parameters of a Chiaroscuro run (the building blocks' initialisation
 /// parameters of Table 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,8 +139,20 @@ pub struct ChiaroscuroParams {
     /// exchange of budget corresponds to one exchange period of simulated
     /// time, so `exchanges` keeps its meaning under both models.
     pub network: NetworkModel,
+    /// A `sim_shards` request made while the network model was round-based
+    /// (the builder records it instead of panicking; switching to an
+    /// `Async` model applies it).  If it is still pending with a value > 1
+    /// at run time, [`Self::validate_for_population`] rejects the
+    /// configuration with [`ConfigError::SimShardsUnderRounds`].
+    pub sim_shards_request: Option<usize>,
 
     // --- execution ---
+    /// Frame delivery for the actor-driven execution path
+    /// (`DistributedRun::via_actors`): in-memory channel links by default,
+    /// or Unix-domain socket pairs for the deployment-shaped path.  The
+    /// monolithic `execute` ignores this knob; results are bit-identical
+    /// across all drive paths either way.
+    pub transport: TransportKind,
     /// Worker threads for the crypto hot path (per-participant encryption
     /// and threshold decryption).  `1` runs strictly serially on the caller
     /// thread; `0` auto-selects the machine's available parallelism.  The
@@ -175,19 +249,30 @@ impl ChiaroscuroParams {
     /// (§4.2.2), so a population smaller than `nν` is a standing noise
     /// deficit — the aggregated Laplace noise would be systematically under
     /// the calibrated scale and the ε guarantee would silently not hold.
+    /// Also rejects a pending `sim_shards` request that the round-based
+    /// network model would silently ignore.
+    ///
+    /// # Errors
+    /// [`ConfigError::NoiseShareDeficit`] if `num_noise_shares > population`;
+    /// [`ConfigError::SimShardsUnderRounds`] if `sim_shards > 1` was
+    /// requested but the network model is still round-based.
     ///
     /// # Panics
-    /// Panics if `num_noise_shares > population` (or if [`Self::validate`]
-    /// fails).
-    pub fn validate_for_population(&self, population: usize) {
+    /// Panics if [`Self::validate`] fails (nonsensical parameters).
+    pub fn validate_for_population(&self, population: usize) -> Result<(), ConfigError> {
         self.validate();
-        assert!(
-            self.num_noise_shares <= population,
-            "num_noise_shares ({}) exceeds the population ({}): the collaborative noise \
-             would be a permanent deficit and the DP guarantee would not hold",
-            self.num_noise_shares,
-            population
-        );
+        if self.num_noise_shares > population {
+            return Err(ConfigError::NoiseShareDeficit {
+                num_noise_shares: self.num_noise_shares,
+                population,
+            });
+        }
+        if let Some(requested) = self.sim_shards_request {
+            if requested > 1 && !self.network.is_async() {
+                return Err(ConfigError::SimShardsUnderRounds { requested });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -219,6 +304,8 @@ impl Default for ChiaroscuroParamsBuilder {
                 gossip_error_bound: 1e-3,
                 churn: 0.0,
                 network: NetworkModel::Rounds,
+                sim_shards_request: None,
+                transport: TransportKind::InMemory,
                 pool_threads: 1,
             },
         }
@@ -299,9 +386,15 @@ impl ChiaroscuroParamsBuilder {
     }
 
     /// Selects the gossip delivery model (round-based by default; see
-    /// [`ChiaroscuroParams::network`]).
+    /// [`ChiaroscuroParams::network`]).  Switching to an `Async` model
+    /// applies any `sim_shards` request recorded before the switch.
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.params.network = network;
+        if let (NetworkModel::Async(ref mut config), Some(requested)) =
+            (&mut self.params.network, self.params.sim_shards_request.take())
+        {
+            config.sim_shards = requested;
+        }
         self
     }
 
@@ -311,23 +404,27 @@ impl ChiaroscuroParamsBuilder {
         self
     }
 
-    /// Sets the event-driven simulator's shard count on the current `Async`
-    /// network model (`1` = the pinned serial engine, `0` = auto-detect,
-    /// `n ≥ 2` = the sharded multi-worker engine; results are bit-invariant
-    /// in the shard count).  Call [`Self::network`] with an `Async`
-    /// configuration first.
-    ///
-    /// # Panics
-    /// Panics if the network model is round-based (shards only apply to the
-    /// event-driven simulator).
+    /// Sets the event-driven simulator's shard count (`1` = the pinned
+    /// serial engine, `0` = auto-detect, `n ≥ 2` = the sharded multi-worker
+    /// engine; results are bit-invariant in the shard count).  Applied to
+    /// the current `Async` network model, or recorded and applied by a
+    /// later [`Self::network`] switch; if the model is still round-based
+    /// with shards > 1 requested at run time,
+    /// [`ChiaroscuroParams::validate_for_population`] rejects the
+    /// configuration with [`ConfigError::SimShardsUnderRounds`] instead of
+    /// silently ignoring the request.
     pub fn sim_shards(mut self, sim_shards: usize) -> Self {
         match self.params.network {
             NetworkModel::Async(ref mut config) => config.sim_shards = sim_shards,
-            NetworkModel::Rounds => panic!(
-                "sim_shards applies to the event-driven simulator; select \
-                 NetworkModel::Async with .network(..) first"
-            ),
+            NetworkModel::Rounds => self.params.sim_shards_request = Some(sim_shards),
         }
+        self
+    }
+
+    /// Selects how actor-driven runs deliver frames (in-memory channels by
+    /// default; see [`ChiaroscuroParams::transport`]).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.params.transport = transport;
         self
     }
 
@@ -497,10 +594,17 @@ mod tests {
     #[test]
     fn population_validation_rejects_noise_share_deficit() {
         let p = ChiaroscuroParams::builder().num_noise_shares(100).build();
-        p.validate_for_population(100); // exactly enough contributors is fine
-        p.validate_for_population(5_000);
-        let err = std::panic::catch_unwind(|| p.validate_for_population(99));
-        assert!(err.is_err(), "nν > population must be rejected");
+        assert_eq!(p.validate_for_population(100), Ok(())); // exactly enough is fine
+        assert_eq!(p.validate_for_population(5_000), Ok(()));
+        let err = p.validate_for_population(99);
+        assert_eq!(
+            err,
+            Err(ConfigError::NoiseShareDeficit { num_noise_shares: 100, population: 99 }),
+            "nν > population must be rejected"
+        );
+        // The Display text keeps the long-standing diagnostic shape.
+        let message = err.unwrap_err().to_string();
+        assert!(message.contains("num_noise_shares (100) exceeds the population (99)"), "{message}");
     }
 
     #[test]
@@ -553,10 +657,33 @@ mod tests {
             NetworkModel::Async(config) => assert_eq!(config.sim_shards, 4),
             NetworkModel::Rounds => unreachable!(),
         }
-        let err = std::panic::catch_unwind(|| {
-            ChiaroscuroParams::builder().sim_shards(4);
-        });
-        assert!(err.is_err(), "sim_shards on the round model must be rejected");
+        // The knob also composes in the other order: the request is
+        // recorded and applied when the model switches to Async.
+        let p = ChiaroscuroParams::builder()
+            .sim_shards(4)
+            .network(NetworkModel::Async(AsyncNetworkConfig::default()))
+            .build();
+        match p.network {
+            NetworkModel::Async(config) => assert_eq!(config.sim_shards, 4),
+            NetworkModel::Rounds => unreachable!(),
+        }
+        assert_eq!(p.sim_shards_request, None, "an applied request must not linger");
+    }
+
+    #[test]
+    fn sim_shards_under_the_round_model_is_a_typed_config_error() {
+        // Regression: this used to panic inside the builder.  A recorded
+        // request that never reaches an Async model now surfaces as a
+        // ConfigError at population validation instead.
+        let p = ChiaroscuroParams::builder().sim_shards(4).num_noise_shares(2).build();
+        assert_eq!(
+            p.validate_for_population(100),
+            Err(ConfigError::SimShardsUnderRounds { requested: 4 })
+        );
+        // A degenerate single-shard request is the serial engine either
+        // way, so it stays valid under the round model.
+        let p = ChiaroscuroParams::builder().sim_shards(1).num_noise_shares(2).build();
+        assert_eq!(p.validate_for_population(100), Ok(()));
     }
 
     #[test]

@@ -291,6 +291,7 @@ mod tests {
             cleartext_bytes_per_mean: 16,
             lanes_per_ciphertext: 1,
             counter_ciphertexts: 0,
+            frame_overhead_bytes: 0,
         };
         let shape = SetShape::from_wire_model(&model);
         assert_eq!(shape.ciphertexts_per_set, 1_050);

@@ -28,7 +28,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod actor;
 pub mod audit;
+pub mod cluster;
 pub mod config;
 pub mod cost_model;
 pub mod diptych;
@@ -38,7 +40,10 @@ pub mod participant;
 pub mod runner;
 pub mod surrogate;
 
-pub use config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
+pub use actor::{ChiaroscuroNodeActor, MEANS_FRAME_OVERHEAD_BYTES};
+pub use config::{
+    ChiaroscuroParams, ChiaroscuroParamsBuilder, ConfigError, ExperimentParams, TransportKind,
+};
 pub use diptych::{Diptych, EncryptedMean, PackedMeans};
 pub use evalue::{BackendVector, EncryptedVector};
 pub use runner::{DistributedRun, RunOutcome};
@@ -46,7 +51,9 @@ pub use runner::{DistributedRun, RunOutcome};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::audit::{DataClass, SecurityAudit};
-    pub use crate::config::{ChiaroscuroParams, ChiaroscuroParamsBuilder, ExperimentParams};
+    pub use crate::config::{
+        ChiaroscuroParams, ChiaroscuroParamsBuilder, ConfigError, ExperimentParams, TransportKind,
+    };
     pub use crate::cost_model::IterationCostModel;
     pub use crate::diptych::{Diptych, EncryptedMean};
     pub use crate::evalue::{BackendVector, EncryptedVector};

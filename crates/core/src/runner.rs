@@ -209,9 +209,9 @@ impl RunOutcome {
 /// backend `B` (the real Damgård–Jurik scheme by default).
 #[derive(Debug, Clone)]
 pub struct DistributedRun<'a, B: CipherBackend = DamgardJurik> {
-    params: ChiaroscuroParams,
-    data: &'a TimeSeriesSet,
-    initial_centroids: Option<Vec<TimeSeries>>,
+    pub(crate) params: ChiaroscuroParams,
+    pub(crate) data: &'a TimeSeriesSet,
+    pub(crate) initial_centroids: Option<Vec<TimeSeries>>,
     _backend: PhantomData<B>,
 }
 
@@ -241,7 +241,9 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             params.key_share_threshold <= data.len(),
             "the key-share threshold cannot exceed the population"
         );
-        params.validate_for_population(data.len());
+        if let Err(e) = params.validate_for_population(data.len()) {
+            panic!("{e}");
+        }
         assert!(
             B::ENCRYPTED || params.lane_packing,
             "the {} backend requires lane_packing: lane biases are its only \
@@ -275,7 +277,37 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
     ///
     /// # Panics
     /// Panics if packing is enabled but no lane layout fits the key size.
-    fn plan_packing(&self) -> Option<PackedEncoder> {
+    pub(crate) fn plan_packing(&self) -> Option<PackedEncoder> {
+        let budget = self.packing_budget()?;
+        let encoder = FixedPointEncoder::new(self.params.encoding_digits);
+        match PackedEncoder::plan(self.params.packing_capacity_bits(), &encoder, &budget) {
+            Ok(packer) => {
+                // A single-lane layout is arithmetically valid but strictly
+                // worse than the legacy path (same data ciphertexts plus a
+                // counter).  The knob promises a performance win, so a
+                // configuration that cannot deliver one is rejected loudly
+                // instead of silently inflating every phase.
+                assert!(
+                    packer.lanes() >= 2,
+                    "lane_packing is enabled but the configuration cannot pack: the layout \
+                     degenerates to a single {}-bit lane in the {}-bit capacity, which would \
+                     cost more than the legacy path; use a larger key, fewer gossip \
+                     exchanges, or disable lane_packing",
+                    packer.layout().lane_bits,
+                    self.params.packing_capacity_bits(),
+                );
+                Some(packer)
+            }
+            Err(e) => panic!("lane_packing is enabled but the configuration cannot pack: {e}"),
+        }
+    }
+
+    /// The lane budget [`Self::plan_packing`] plans with, or `None` when
+    /// lane packing is off.  Exposed crate-internally so the actor driver
+    /// can ship these five scalars in its provisioning event and have each
+    /// node re-derive the coordinator's exact layout (the plan is a pure
+    /// function of the budget and the encoder).
+    pub(crate) fn packing_budget(&self) -> Option<LaneBudget> {
         if !self.params.lane_packing {
             return None;
         }
@@ -300,33 +332,12 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                     .magnitude_bound(),
             );
         let range_magnitude = self.data.range().min.abs().max(self.data.range().max.abs());
-        let budget = LaneBudget {
+        Some(LaneBudget {
             contributors: population,
             doubling_budget: 8 * exchanges + 32,
             max_abs_value: range_magnitude.max(1.0).max(noise_bound),
             biased_vectors: 2, // the means vector plus the noise-share vector
-        };
-        let encoder = FixedPointEncoder::new(self.params.encoding_digits);
-        match PackedEncoder::plan(self.params.packing_capacity_bits(), &encoder, &budget) {
-            Ok(packer) => {
-                // A single-lane layout is arithmetically valid but strictly
-                // worse than the legacy path (same data ciphertexts plus a
-                // counter).  The knob promises a performance win, so a
-                // configuration that cannot deliver one is rejected loudly
-                // instead of silently inflating every phase.
-                assert!(
-                    packer.lanes() >= 2,
-                    "lane_packing is enabled but the configuration cannot pack: the layout \
-                     degenerates to a single {}-bit lane in the {}-bit capacity, which would \
-                     cost more than the legacy path; use a larger key, fewer gossip \
-                     exchanges, or disable lane_packing",
-                    packer.layout().lane_bits,
-                    self.params.packing_capacity_bits(),
-                );
-                Some(packer)
-            }
-            Err(e) => panic!("lane_packing is enabled but the configuration cannot pack: {e}"),
-        }
+        })
     }
 
     /// Provides explicit initial centroids (otherwise `k` series are drawn
@@ -885,7 +896,7 @@ fn biguint_from_limbs(limbs: &[u64]) -> BigUint {
 }
 
 /// Builds an [`Assignment`] from per-participant labels.
-fn assignment_from_labels(labels: &[usize], k: usize) -> Assignment {
+pub(crate) fn assignment_from_labels(labels: &[usize], k: usize) -> Assignment {
     let mut sizes = vec![0usize; k];
     for &l in labels {
         sizes[l] += 1;
@@ -895,7 +906,7 @@ fn assignment_from_labels(labels: &[usize], k: usize) -> Assignment {
 
 /// Same far-away sentinel as the centralized surrogate (footnote 8): an
 /// aberrant mean that will attract no series at the next iteration.
-fn aberrant_centroid(series_length: usize, range_max: f64, cluster: usize) -> TimeSeries {
+pub(crate) fn aberrant_centroid(series_length: usize, range_max: f64, cluster: usize) -> TimeSeries {
     TimeSeries::constant(series_length, range_max * 1e6 * (cluster + 2) as f64)
 }
 

@@ -129,6 +129,27 @@ pub trait CipherBackend: std::fmt::Debug + Send + Sync + Sized + 'static {
     /// backends, the honest packed-plaintext payload for surrogates.
     fn unit_bytes(&self) -> usize;
 
+    /// Serialises the backend's *public* material — everything a node actor
+    /// needs to encrypt and run the homomorphic operators, none of the
+    /// key-shares — so a coordinator can provision remote actors over the
+    /// wire ([`crate::wire`] framing).
+    fn export_public(&self) -> Vec<u8>;
+
+    /// Rebuilds an operations-only backend from [`Self::export_public`]
+    /// bytes: it encrypts, adds and scales exactly like the original but
+    /// cannot threshold-decrypt (node actors never do — decryption stays
+    /// with the share holders).  Returns `None` on malformed bytes.
+    fn import_public(bytes: &[u8]) -> Option<Self>;
+
+    /// Serialises one unit as raw big-endian bytes, **without** length
+    /// framing — the fixed-width vector encoding of
+    /// [`crate::wire::serialize_units`] supplies it.
+    fn unit_to_bytes(&self, unit: &Self::Unit) -> Vec<u8>;
+
+    /// Rebuilds a unit from [`Self::unit_to_bytes`] bytes (leading
+    /// zero-padding, added by the fixed-width encoding, is ignored).
+    fn unit_from_bytes(&self, bytes: &[u8]) -> Option<Self::Unit>;
+
     /// The plaintext-space capacity a lane-packed layout must fit in, or
     /// `None` when the backend has no modulus (surrogate integers grow
     /// freely, the packing overflow guard still applies at decode time).
@@ -222,6 +243,22 @@ impl CipherBackend for DamgardJurik {
         self.public.ciphertext_bytes()
     }
 
+    fn export_public(&self) -> Vec<u8> {
+        crate::wire::serialize_public_key(&self.public).to_vec()
+    }
+
+    fn import_public(bytes: &[u8]) -> Option<Self> {
+        crate::wire::deserialize_public_key(bytes).map(Self::from_public_key)
+    }
+
+    fn unit_to_bytes(&self, unit: &Self::Unit) -> Vec<u8> {
+        unit.raw().to_bytes_be()
+    }
+
+    fn unit_from_bytes(&self, bytes: &[u8]) -> Option<Self::Unit> {
+        Some(crate::scheme::Ciphertext::from_raw(BigUint::from_bytes_be(bytes)))
+    }
+
     fn plaintext_capacity_bits(&self) -> Option<u64> {
         Some(self.public.packing_capacity_bits())
     }
@@ -304,6 +341,23 @@ impl CipherBackend for PlaintextSurrogate {
 
     fn unit_bytes(&self) -> usize {
         self.payload_bits.div_ceil(8) as usize
+    }
+
+    fn export_public(&self) -> Vec<u8> {
+        self.payload_bits.to_be_bytes().to_vec()
+    }
+
+    fn import_public(bytes: &[u8]) -> Option<Self> {
+        let bits: [u8; 8] = bytes.try_into().ok()?;
+        Some(Self { payload_bits: u64::from_be_bytes(bits) })
+    }
+
+    fn unit_to_bytes(&self, unit: &Self::Unit) -> Vec<u8> {
+        unit.to_bytes_be()
+    }
+
+    fn unit_from_bytes(&self, bytes: &[u8]) -> Option<Self::Unit> {
+        Some(BigUint::from_bytes_be(bytes))
     }
 
     fn plaintext_capacity_bits(&self) -> Option<u64> {

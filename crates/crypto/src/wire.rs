@@ -35,6 +35,13 @@ pub struct MeansWireModel {
     /// lane count because a degenerate packed layout can have `L = 1` and
     /// still carries its counter.
     pub counter_ciphertexts: usize,
+    /// Per-message transport framing overhead in bytes: 0 when the set
+    /// travels as an in-memory value (the monolithic runner and the
+    /// channel-backed bus), the frame header plus state metadata when a
+    /// socket transport actually serialises it.  Honesty contract: with a
+    /// socket transport configured, reported payload bytes must match the
+    /// bytes written to the wire, framing included.
+    pub frame_overhead_bytes: usize,
 }
 
 impl MeansWireModel {
@@ -95,7 +102,17 @@ impl MeansWireModel {
             cleartext_bytes_per_mean: 16,
             lanes_per_ciphertext: lanes.unwrap_or(1),
             counter_ciphertexts: usize::from(lanes.is_some()),
+            frame_overhead_bytes: 0,
         }
+    }
+
+    /// Returns the model with a per-message transport framing overhead (the
+    /// frame header plus any serialised state metadata).  Use this when a
+    /// socket transport carries the set, so reported payload bytes match
+    /// the bytes actually written to the wire.
+    pub fn with_frame_overhead(mut self, frame_overhead_bytes: usize) -> Self {
+        self.frame_overhead_bytes = frame_overhead_bytes;
+        self
     }
 
     /// Number of coordinates in one set of means: `k · (n + 1)` (sums plus
@@ -111,9 +128,12 @@ impl MeansWireModel {
         self.coordinates_per_set().div_ceil(self.lanes_per_ciphertext) + self.counter_ciphertexts
     }
 
-    /// Total size in bytes of one set of encrypted means.
+    /// Total size in bytes of one set of encrypted means (including the
+    /// transport framing overhead, when one is configured).
     pub fn set_bytes(&self) -> usize {
-        self.ciphertexts_per_set() * self.ciphertext_bytes + self.num_means * self.cleartext_bytes_per_mean
+        self.ciphertexts_per_set() * self.ciphertext_bytes
+            + self.num_means * self.cleartext_bytes_per_mean
+            + self.frame_overhead_bytes
     }
 
     /// Total size in kilobytes (the unit of Figure 5(b)).
@@ -158,6 +178,100 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Option<Ciphertext> {
     Some(Ciphertext::from_raw(BigUint::from_bytes_be(&bytes[4..])))
 }
 
+/// Serialises a public key — the modulus `n`, the Damgård–Jurik exponent
+/// `s` and the nominal key size — as `s (u32) | key_bits (u64) |
+/// n_len (u32) | n (big-endian)`.  This is the provisioning payload a
+/// coordinator hands to remote node actors: everything needed to encrypt
+/// and run the homomorphic operators, none of the key-shares.
+pub fn serialize_public_key(pk: &PublicKey) -> Bytes {
+    let n = pk.modulus().to_bytes_be();
+    let mut buf = BytesMut::with_capacity(n.len() + 16);
+    buf.put_u32(pk.s());
+    buf.put_u64(pk.key_bits());
+    buf.put_u32(n.len() as u32);
+    buf.put_slice(&n);
+    buf.freeze()
+}
+
+/// Deserialises a public key produced by [`serialize_public_key`].
+///
+/// Returns `None` if the buffer is malformed (wrong length, zero exponent,
+/// or an implausibly small modulus).
+pub fn deserialize_public_key(bytes: &[u8]) -> Option<PublicKey> {
+    if bytes.len() < 16 {
+        return None;
+    }
+    let s = u32::from_be_bytes(bytes[0..4].try_into().ok()?);
+    let key_bits = u64::from_be_bytes(bytes[4..12].try_into().ok()?);
+    let n_len = u32::from_be_bytes(bytes[12..16].try_into().ok()?) as usize;
+    if bytes.len() != 16 + n_len || s == 0 || key_bits < 64 {
+        return None;
+    }
+    let n = BigUint::from_bytes_be(&bytes[16..]);
+    if n.bits() < 8 {
+        return None;
+    }
+    Some(PublicKey::new(n, s, key_bits))
+}
+
+/// Serialises a vector of backend units at a fixed per-unit width:
+/// `count (u32) | width (u32) | count × width` big-endian, zero-padded
+/// bytes.  The width is the larger of the backend's honest unit size and
+/// the widest unit present, so Damgård–Jurik ciphertexts (always below the
+/// ciphertext modulus) serialise at exactly
+/// [`CipherBackend::unit_bytes`](crate::backend::CipherBackend::unit_bytes)
+/// each — the wire cost the [`MeansWireModel`] reports — while surrogate
+/// integers (which outgrow their nominal payload under EESum doublings)
+/// stay lossless.
+///
+/// # Panics
+/// Panics if a unit is wider than `u32::MAX` bytes (not reachable for any
+/// supported key size).
+pub fn serialize_units<B: crate::backend::CipherBackend>(backend: &B, units: &[B::Unit]) -> Bytes {
+    let raw: Vec<Vec<u8>> = units.iter().map(|u| backend.unit_to_bytes(u)).collect();
+    let width = raw
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+        .max(backend.unit_bytes());
+    let mut buf = BytesMut::with_capacity(8 + units.len() * width);
+    buf.put_u32(u32::try_from(units.len()).expect("unit count fits u32"));
+    buf.put_u32(u32::try_from(width).expect("unit width fits u32"));
+    for bytes in &raw {
+        for _ in bytes.len()..width {
+            buf.put_u8(0);
+        }
+        buf.put_slice(bytes);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a unit vector produced by [`serialize_units`].
+///
+/// Returns `None` if the buffer is malformed (short header, length not
+/// matching `count × width`, or a unit the backend rejects).
+pub fn deserialize_units<B: crate::backend::CipherBackend>(
+    backend: &B,
+    bytes: &[u8],
+) -> Option<Vec<B::Unit>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let count = u32::from_be_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let width = u32::from_be_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let body = count.checked_mul(width)?;
+    if bytes.len() != 8 + body {
+        return None;
+    }
+    bytes[8..]
+        .chunks_exact(width.max(1))
+        .take(count)
+        .map(|chunk| backend.unit_from_bytes(chunk))
+        .collect::<Option<Vec<_>>>()
+        .filter(|units| units.len() == count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +291,7 @@ mod tests {
             cleartext_bytes_per_mean: 16,
             lanes_per_ciphertext: 1,
             counter_ciphertexts: 0,
+            frame_overhead_bytes: 0,
         };
         assert_eq!(model.ciphertexts_per_set(), 1_050);
         let kb = model.set_kilobytes();
@@ -196,6 +311,7 @@ mod tests {
             cleartext_bytes_per_mean: 16,
             lanes_per_ciphertext: 12,
             counter_ciphertexts: 1,
+            frame_overhead_bytes: 0,
         };
         assert_eq!(packed.coordinates_per_set(), 1_050);
         assert_eq!(packed.ciphertexts_per_set(), 1_050usize.div_ceil(12) + 1);
@@ -232,6 +348,88 @@ mod tests {
     fn malformed_buffers_rejected() {
         assert!(deserialize_ciphertext(&[]).is_none());
         assert!(deserialize_ciphertext(&[0, 0, 0, 10, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn public_key_serialization_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (bits, s) in [(128u64, 1u32), (256, 1), (128, 2)] {
+            let kp = KeyPair::generate(bits, s, &mut rng);
+            let bytes = serialize_public_key(&kp.public);
+            let back = deserialize_public_key(&bytes).expect("round trip");
+            assert_eq!(back.modulus(), kp.public.modulus());
+            assert_eq!(back.s(), kp.public.s());
+            assert_eq!(back.key_bits(), kp.public.key_bits());
+            // The rebuilt key must encrypt interoperably: the original
+            // secret key decrypts a ciphertext produced by the copy.
+            let m = BigUint::from(42_001u32);
+            let c = back.encrypt(&m, &mut rng);
+            assert_eq!(kp.secret.decrypt(&kp.public, &c), m);
+        }
+    }
+
+    #[test]
+    fn malformed_public_keys_rejected() {
+        assert!(deserialize_public_key(&[]).is_none());
+        assert!(deserialize_public_key(&[0u8; 15]).is_none());
+        // Declared modulus length not matching the buffer.
+        let mut bytes = serialize_public_key(&KeyPair::generate(128, 1, &mut StdRng::seed_from_u64(5)).public).to_vec();
+        bytes.pop();
+        assert!(deserialize_public_key(&bytes).is_none());
+        // Zero exponent.
+        let mut zero_s = vec![0u8; 20];
+        zero_s[4..12].copy_from_slice(&128u64.to_be_bytes());
+        zero_s[12..16].copy_from_slice(&4u32.to_be_bytes());
+        assert!(deserialize_public_key(&zero_s).is_none());
+    }
+
+    #[test]
+    fn unit_vectors_serialize_at_the_honest_fixed_width() {
+        use crate::backend::{CipherBackend, DamgardJurik};
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let backend = DamgardJurik::from_public_key(kp.public.clone());
+        let units: Vec<_> =
+            (0..5u32).map(|v| backend.encrypt(&BigUint::from(v), &mut rng)).collect();
+        let bytes = serialize_units(&backend, &units);
+        // Fixed width = the model's per-unit size: header + count × unit_bytes.
+        assert_eq!(bytes.len(), 8 + units.len() * backend.unit_bytes());
+        let back = deserialize_units(&backend, &bytes).expect("round trip");
+        assert_eq!(back.len(), units.len());
+        for (original, copy) in units.iter().zip(&back) {
+            assert_eq!(kp.secret.decrypt(&kp.public, original), kp.secret.decrypt(&kp.public, copy));
+        }
+    }
+
+    #[test]
+    fn malformed_unit_vectors_rejected() {
+        use crate::backend::DamgardJurik;
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let backend = DamgardJurik::from_public_key(kp.public);
+        assert!(deserialize_units(&backend, &[]).is_none());
+        assert!(deserialize_units(&backend, &[0u8; 7]).is_none());
+        // Header promising more body than present.
+        let mut bytes = vec![0u8; 8];
+        bytes[0..4].copy_from_slice(&3u32.to_be_bytes());
+        bytes[4..8].copy_from_slice(&16u32.to_be_bytes());
+        assert!(deserialize_units(&backend, &bytes).is_none());
+        // count × width overflowing usize must be rejected, not panic.
+        let mut absurd = vec![0u8; 8];
+        absurd[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        absurd[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(deserialize_units(&backend, &absurd).is_none());
+    }
+
+    #[test]
+    fn frame_overhead_is_added_once_per_set() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let bare = MeansWireModel::new(&kp.public, 5, 4);
+        let framed = bare.with_frame_overhead(37);
+        assert_eq!(framed.set_bytes(), bare.set_bytes() + 37);
+        assert_eq!(framed.sum_exchange_bytes(), bare.sum_exchange_bytes() + 2 * 37);
+        assert_eq!(framed.ciphertexts_per_set(), bare.ciphertexts_per_set());
     }
 
     #[test]

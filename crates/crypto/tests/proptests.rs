@@ -232,6 +232,127 @@ proptest! {
         prop_assert_eq!(packed_decoded, legacy_decoded);
     }
 
+    // --- Transport wire round trips -------------------------------------
+    //
+    // Every payload class that crosses the node Transport must round-trip
+    // encode → decode to identity: raw ciphertexts, public-key provisioning
+    // blobs, and fixed-width unit vectors (per-coordinate *and* packed-lane
+    // payloads, under both the real cipher and the plaintext surrogate).
+
+    #[test]
+    fn wire_ciphertext_round_trips(m in any::<u64>(), seed in any::<u64>()) {
+        use chiaroscuro_crypto::wire::{deserialize_ciphertext, serialize_ciphertext};
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::from(m);
+        let c = kp.public.encrypt(&m, &mut rng);
+        let back = deserialize_ciphertext(&serialize_ciphertext(&c)).unwrap();
+        prop_assert_eq!(kp.secret.decrypt(&kp.public, &back), m);
+    }
+
+    #[test]
+    fn wire_public_key_round_trips_and_interoperates(m in any::<u32>(), seed in any::<u64>()) {
+        use chiaroscuro_crypto::wire::{deserialize_public_key, serialize_public_key};
+        for kp in [keypair(), keypair_s2()] {
+            let back = deserialize_public_key(&serialize_public_key(&kp.public)).unwrap();
+            prop_assert_eq!(back.modulus(), kp.public.modulus());
+            prop_assert_eq!(back.s(), kp.public.s());
+            prop_assert_eq!(back.key_bits(), kp.public.key_bits());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = back.encrypt(&BigUint::from(m), &mut rng);
+            prop_assert_eq!(kp.secret.decrypt(&kp.public, &c), BigUint::from(m));
+        }
+    }
+
+    #[test]
+    fn wire_unit_vectors_round_trip_per_coordinate(
+        values in prop::collection::vec(any::<u32>(), 1..12),
+        seed in any::<u64>(),
+    ) {
+        use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik};
+        use chiaroscuro_crypto::wire::{deserialize_units, serialize_units};
+        let kp = keypair();
+        let backend = DamgardJurik::from_public_key(kp.public.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let units: Vec<_> =
+            values.iter().map(|&v| backend.encrypt(&BigUint::from(v), &mut rng)).collect();
+        let bytes = serialize_units(&backend, &units);
+        prop_assert_eq!(bytes.len(), 8 + units.len() * backend.unit_bytes());
+        let back = deserialize_units(&backend, &bytes).unwrap();
+        prop_assert_eq!(back.len(), units.len());
+        for (u, b) in units.iter().zip(&back) {
+            prop_assert_eq!(kp.secret.decrypt(&kp.public, u), kp.secret.decrypt(&kp.public, b));
+        }
+    }
+
+    #[test]
+    fn wire_unit_vectors_round_trip_packed_lanes(
+        coordinates in prop::collection::vec(-500.0f64..500.0, 9),
+        seed in any::<u64>(),
+    ) {
+        // A packed-lane contribution: pack → encrypt → serialize must decode
+        // back to ciphertexts carrying the identical packed plaintexts.
+        use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik};
+        use chiaroscuro_crypto::wire::{deserialize_units, serialize_units};
+        let kp = keypair();
+        let backend = DamgardJurik::from_public_key(kp.public.clone());
+        let enc = FixedPointEncoder::new(3);
+        let budget = LaneBudget {
+            contributors: 8,
+            doubling_budget: 4,
+            max_abs_value: 600.0,
+            biased_vectors: 1,
+        };
+        let packer =
+            PackedEncoder::plan(kp.public.packing_capacity_bits(), &enc, &budget).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plaintexts = packer.pack(&coordinates);
+        let units: Vec<_> = plaintexts.iter().map(|m| backend.encrypt(m, &mut rng)).collect();
+        let back = deserialize_units(&backend, &serialize_units(&backend, &units)).unwrap();
+        for (m, b) in plaintexts.iter().zip(&back) {
+            prop_assert_eq!(m, &kp.secret.decrypt(&kp.public, b));
+        }
+    }
+
+    #[test]
+    fn wire_surrogate_units_round_trip_even_past_their_nominal_width(
+        values in prop::collection::vec(any::<u64>(), 1..10),
+        doublings in 0u32..200,
+    ) {
+        // Surrogate units outgrow their nominal payload under EESum
+        // doublings; the fixed-width encoding must widen and stay lossless.
+        use chiaroscuro_crypto::backend::{BackendSetup, CipherBackend, PlaintextSurrogate};
+        use chiaroscuro_crypto::wire::{deserialize_units, serialize_units};
+        let setup = BackendSetup {
+            key_bits: 128,
+            damgard_jurik_s: 1,
+            population: 4,
+            key_share_threshold: 2,
+            packed_layout: None,
+        };
+        let backend = PlaintextSurrogate::setup(&setup, &mut StdRng::seed_from_u64(1));
+        let units: Vec<BigUint> =
+            values.iter().map(|&v| BigUint::from(v) << doublings).collect();
+        let back = deserialize_units(&backend, &serialize_units(&backend, &units)).unwrap();
+        prop_assert_eq!(back, units);
+    }
+
+    #[test]
+    fn wire_surrogate_public_material_round_trips(seed in any::<u64>()) {
+        use chiaroscuro_crypto::backend::{BackendSetup, CipherBackend, PlaintextSurrogate};
+        let setup = BackendSetup {
+            key_bits: 128,
+            damgard_jurik_s: 1,
+            population: 6,
+            key_share_threshold: 2,
+            packed_layout: None,
+        };
+        let backend = PlaintextSurrogate::setup(&setup, &mut StdRng::seed_from_u64(seed));
+        let back = PlaintextSurrogate::import_public(&backend.export_public()).unwrap();
+        prop_assert_eq!(back.unit_bytes(), backend.unit_bytes());
+        prop_assert!(PlaintextSurrogate::import_public(&[1, 2, 3]).is_none());
+    }
+
     #[test]
     fn packing_rejects_overflowing_budgets_at_validation(
         doubling_budget in 150u32..4_000,

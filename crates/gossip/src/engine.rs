@@ -213,35 +213,7 @@ impl<N> GossipEngine<N> {
         P: PairwiseProtocol<N>,
         R: Rng + ?Sized,
     {
-        let population = self.nodes.len();
-        assert_eq!(online.len(), population, "one mask entry per node");
-        // Precompute the online index set once per round: contact selection
-        // is then a single unbiased uniform draw per initiator.  The old
-        // bounded rejection loop (8 uniform draws over the whole population)
-        // could miss every online peer under heavy churn — silently dropping
-        // exchanges that §6.1.5 says should happen — and consumed a variable
-        // number of RNG draws per initiator.
-        let online_indices: Vec<usize> = (0..population).filter(|&i| online[i]).collect();
-        if online_indices.len() < 2 {
-            // Nobody (or a lone node) online: no exchange is possible.
-            self.metrics.record_round();
-            return;
-        }
-        let mut order: Vec<usize> = (0..population).collect();
-        order.shuffle(rng);
-        for initiator in order {
-            if !online[initiator] {
-                continue;
-            }
-            // Uniform draw over the online set minus the initiator: draw
-            // from the first |online|−1 slots and remap a hit on the
-            // initiator to the excluded last slot, so every online peer has
-            // probability exactly 1/(|online|−1).
-            let draw = rng.gen_range(0..online_indices.len() - 1);
-            let mut contact = online_indices[draw];
-            if contact == initiator {
-                contact = *online_indices.last().expect("at least two online nodes");
-            }
+        for (initiator, contact) in plan_round_with_mask(self.nodes.len(), online, rng) {
             let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
             protocol.exchange(a, b);
             self.metrics.record_exchange();
@@ -281,6 +253,63 @@ impl<N> GossipEngine<N> {
     pub fn into_parts(self) -> (Vec<N>, ExchangeMetrics) {
         (self.nodes, self.metrics)
     }
+}
+
+/// Plans one gossip round against an explicit connectivity mask without
+/// touching any node state: the ordered `(initiator, contact)` exchange
+/// schedule the round performs.
+///
+/// The schedule is *state-independent* and consumes **exactly** the RNG
+/// draws of [`GossipEngine::run_round_with_mask`] (which is implemented on
+/// top of this function): the full 0..population order is shuffled, then
+/// every online initiator draws one uniform contact over the online set
+/// minus itself.  A coordinator can therefore precompute the schedule and
+/// deliver each exchange as a pair of messages — the actor deployment path —
+/// while remaining bit-identical to driving the in-place engine from the
+/// same RNG.
+///
+/// With fewer than two online nodes no exchange is possible and **no RNG
+/// draw is consumed**: the plan is empty (the round still counts as a round
+/// for the caller's metrics, as in the engine).
+///
+/// # Panics
+/// Panics if the mask length differs from `population`.
+pub fn plan_round_with_mask<R: Rng + ?Sized>(
+    population: usize,
+    online: &[bool],
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    assert_eq!(online.len(), population, "one mask entry per node");
+    // Precompute the online index set once per round: contact selection
+    // is then a single unbiased uniform draw per initiator.  The old
+    // bounded rejection loop (8 uniform draws over the whole population)
+    // could miss every online peer under heavy churn — silently dropping
+    // exchanges that §6.1.5 says should happen — and consumed a variable
+    // number of RNG draws per initiator.
+    let online_indices: Vec<usize> = (0..population).filter(|&i| online[i]).collect();
+    if online_indices.len() < 2 {
+        // Nobody (or a lone node) online: no exchange is possible.
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..population).collect();
+    order.shuffle(rng);
+    let mut plan = Vec::with_capacity(online_indices.len());
+    for initiator in order {
+        if !online[initiator] {
+            continue;
+        }
+        // Uniform draw over the online set minus the initiator: draw
+        // from the first |online|−1 slots and remap a hit on the
+        // initiator to the excluded last slot, so every online peer has
+        // probability exactly 1/(|online|−1).
+        let draw = rng.gen_range(0..online_indices.len() - 1);
+        let mut contact = online_indices[draw];
+        if contact == initiator {
+            contact = *online_indices.last().expect("at least two online nodes");
+        }
+        plan.push((initiator, contact));
+    }
+    plan
 }
 
 /// Borrows two distinct elements of a slice mutably.
@@ -359,6 +388,33 @@ mod tests {
         assert_eq!(metrics.exchanges(), 500);
         assert_eq!(metrics.messages(), 1_000);
         assert!((metrics.messages_per_node(100) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planned_schedule_matches_the_engine_and_its_rng_draws() {
+        // The plan must consume exactly the engine's RNG draws: running a
+        // round from a plan and running it in place from twin RNGs must
+        // leave the RNG streams — and the node states — identical.
+        for (seed, churn) in [(11u64, 0.0), (12, 0.3), (13, 0.97)] {
+            let model = if churn == 0.0 { ChurnModel::NONE } else { ChurnModel::new(churn) };
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut engine = GossipEngine::new((0..97u64).collect(), model);
+            let mut mirror: Vec<u64> = (0..97).collect();
+            for _ in 0..6 {
+                let mask = model.sample_mask(97, &mut rng_a);
+                let plan = plan_round_with_mask(97, &mask, &mut rng_a);
+                engine.run_round(&MaxProtocol, &mut rng_b);
+                for &(i, c) in &plan {
+                    assert!(mask[i] && mask[c] && i != c, "bad pair ({i}, {c})");
+                    let (a, b) = pair_mut(&mut mirror, i, c);
+                    MaxProtocol.exchange(a, b);
+                }
+                assert_eq!(&mirror, engine.nodes(), "states diverged at churn {churn}");
+                // Twin RNGs must still agree after each round.
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            }
+        }
     }
 
     #[test]

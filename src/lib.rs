@@ -23,6 +23,7 @@
 //! * [`crypto`] — Damgård–Jurik additively-homomorphic threshold encryption,
 //! * [`gossip`] — epidemic aggregation substrate and P2P simulator,
 //! * [`kmeans`] — centralized baseline and perturbed-centralized surrogate,
+//! * [`node`] — message-driven node actors, framed transports, local bus,
 //! * [`core`] — the Diptych and the distributed execution sequence.
 //!
 //! ## Quickstart
@@ -56,4 +57,5 @@ pub use chiaroscuro_crypto as crypto;
 pub use chiaroscuro_dp as dp;
 pub use chiaroscuro_gossip as gossip;
 pub use chiaroscuro_kmeans as kmeans;
+pub use chiaroscuro_node as node;
 pub use chiaroscuro_timeseries as timeseries;
