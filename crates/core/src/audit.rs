@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use chiaroscuro_gossip::sim::FaultStats;
+
 /// Classification of a piece of information leaving a participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DataClass {
@@ -46,6 +48,11 @@ pub struct AuditEvent {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SecurityAudit {
     events: Vec<AuditEvent>,
+    /// Accumulated byzantine-fault counters (injected/detected/absorbed per
+    /// class) over the whole run.  All-zero unless the run's
+    /// [`AdversaryModel`](chiaroscuro_gossip::sim::AdversaryModel) is
+    /// active — fault accounting never touches the audit of an honest run.
+    faults: FaultStats,
 }
 
 impl SecurityAudit {
@@ -79,6 +86,19 @@ impl SecurityAudit {
     pub fn count(&self, class: DataClass) -> usize {
         self.events.iter().filter(|e| e.class == class).map(|e| e.count).sum()
     }
+
+    /// Accumulates one segment's byzantine-fault counters into the run
+    /// total (the runner calls this once per iteration when an adversary
+    /// is active).
+    pub fn record_faults(&mut self, stats: &FaultStats) {
+        self.faults.merge(stats);
+    }
+
+    /// The run's accumulated byzantine-fault counters (all-zero for honest
+    /// runs).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +131,23 @@ mod tests {
         let mut audit = SecurityAudit::new();
         audit.record(0, "oops", DataClass::RawPersonalData);
         assert!(audit.leaked_raw_data());
+    }
+
+    #[test]
+    fn fault_counters_start_zero_and_accumulate() {
+        let mut audit = SecurityAudit::new();
+        assert_eq!(audit.fault_stats(), FaultStats::ZERO, "honest runs report all-zero");
+        let mut segment = FaultStats::ZERO;
+        segment.malformed.injected = 3;
+        segment.malformed.detected = 3;
+        segment.dropped_replies.injected = 1;
+        segment.dropped_replies.absorbed = 1;
+        audit.record_faults(&segment);
+        audit.record_faults(&segment);
+        let total = audit.fault_stats();
+        assert_eq!(total.malformed.injected, 6);
+        assert_eq!(total.injected_total(), 8);
+        assert_eq!(total.detected_total(), 6);
+        assert_eq!(total.absorbed_total(), 2);
     }
 }

@@ -168,6 +168,11 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             "via_actors drives the round-based schedule; the event-driven simulator models \
              the network itself and has no per-exchange message flow to relay"
         );
+        assert!(
+            !params.adversary.is_active(),
+            "via_actors has no fault-injection hooks; run adversarial scenarios through \
+             DistributedRun's simulated engines instead"
+        );
         let n = data.series_length();
         let k = params.k;
         let entries = k * (n + 1);
@@ -484,6 +489,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 sum_payload_bytes,
                 gossip_sim_time: 0.0,
                 peak_messages_in_flight: 0,
+                faults: chiaroscuro_gossip::sim::FaultStats::ZERO,
             });
 
             // --- Convergence step. ---

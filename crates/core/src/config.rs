@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use chiaroscuro_dp::accountant::ProbabilisticDpParams;
 use chiaroscuro_dp::budget::{BudgetSchedule, BudgetStrategy};
-use chiaroscuro_gossip::sim::NetworkModel;
+use chiaroscuro_gossip::sim::{AdversaryModel, NetworkModel};
 use chiaroscuro_kmeans::perturbed::Smoothing;
 
 /// A typed rejection from [`ChiaroscuroParams::validate_for_population`]:
@@ -145,6 +145,15 @@ pub struct ChiaroscuroParams {
     /// at run time, [`Self::validate_for_population`] rejects the
     /// configuration with [`ConfigError::SimShardsUnderRounds`].
     pub sim_shards_request: Option<usize>,
+    /// The byzantine adversary injected into every gossip phase
+    /// (`chiaroscuro_gossip::sim::adversary`): a seeded fraction of nodes
+    /// ships malformed/replayed/duplicated ciphertexts or drops replies,
+    /// and honest peer sampling can be eclipse-biased.  The default,
+    /// [`AdversaryModel::NONE`], is guaranteed bit-identical to a build
+    /// without the knob — an inactive model consumes no RNG draw anywhere.
+    /// Per-class injected/detected/absorbed counters surface in each
+    /// iteration's network stats and in the security audit.
+    pub adversary: AdversaryModel,
 
     // --- execution ---
     /// Frame delivery for the actor-driven execution path
@@ -237,6 +246,7 @@ impl ChiaroscuroParams {
         assert!((0.0..1.0).contains(&self.churn));
         assert!(self.gossip_error_bound >= 0.0 && self.gossip_error_bound < 1.0);
         self.network.validate();
+        self.adversary.validate();
         if let Some(n) = self.exchanges_override {
             // Overrides pass through to the runner verbatim (no clamping),
             // so zero would silently skip aggregation altogether.
@@ -305,6 +315,7 @@ impl Default for ChiaroscuroParamsBuilder {
                 churn: 0.0,
                 network: NetworkModel::Rounds,
                 sim_shards_request: None,
+                adversary: AdversaryModel::NONE,
                 transport: TransportKind::InMemory,
                 pool_threads: 1,
             },
@@ -425,6 +436,13 @@ impl ChiaroscuroParamsBuilder {
     /// default; see [`ChiaroscuroParams::transport`]).
     pub fn transport(mut self, transport: TransportKind) -> Self {
         self.params.transport = transport;
+        self
+    }
+
+    /// Injects a byzantine adversary into every gossip phase (none by
+    /// default; see [`ChiaroscuroParams::adversary`]).
+    pub fn adversary(mut self, adversary: AdversaryModel) -> Self {
+        self.params.adversary = adversary;
         self
     }
 

@@ -62,7 +62,8 @@ pub mod prelude {
     pub use chiaroscuro_crypto::backend::{CipherBackend, DamgardJurik, PlaintextSurrogate};
     pub use chiaroscuro_dp::budget::BudgetStrategy;
     pub use chiaroscuro_gossip::sim::{
-        AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel, NetworkModel,
+        AdversaryModel, AsyncNetworkConfig, CrashSchedule, CrashWindow, FaultStats, LatencyModel,
+        NetworkModel,
     };
     pub use chiaroscuro_kmeans::perturbed::Smoothing;
 }

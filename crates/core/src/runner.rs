@@ -123,7 +123,9 @@ use chiaroscuro_gossip::eesum::{initial_states as eesum_initial_states, EesState
 use chiaroscuro_gossip::metrics::ExchangeMetrics;
 use chiaroscuro_gossip::sim::arena::EesUnitArena;
 use chiaroscuro_gossip::sim::{
-    run_async_phase, run_async_phase_until, run_phase, run_phase_until, NetworkModel, PhaseOutcome,
+    run_async_phase_until_with_adversary, run_async_phase_with_adversary,
+    run_phase_until_with_adversary, run_phase_with_adversary, AdversaryState, FaultStats,
+    NetworkModel, PhaseOutcome,
 };
 use chiaroscuro_gossip::sum::{initial_states as sum_initial_states, PushPullSum};
 use chiaroscuro_kmeans::report::{IterationReport, RunReport};
@@ -183,6 +185,10 @@ pub struct IterationNetworkStats {
     /// Peak number of gossip requests simultaneously in transit across the
     /// asynchronous phases (`0` under the round-based model).
     pub peak_messages_in_flight: usize,
+    /// Byzantine faults injected/detected/absorbed during this iteration's
+    /// gossip phases, per fault class.  All-zero unless
+    /// [`ChiaroscuroParams::adversary`] is active.
+    pub faults: FaultStats,
 }
 
 /// The outcome of a distributed Chiaroscuro run.
@@ -404,6 +410,12 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
         let sensitivity = Sensitivity::from_range(n, data.range().min, data.range().max);
         let churn = ChurnModel::new(params.churn);
         let exchanges = params.effective_exchanges(population, n);
+        // Byzantine adversary: the fault schedule runs on a dedicated
+        // seed-derived RNG sub-stream.  An inactive model draws NOTHING
+        // here and is never materialised, so honest runs stay bit-identical
+        // to every historical baseline seed.
+        let mut adversary_state =
+            params.adversary.is_active().then(|| AdversaryState::new(params.adversary, rng.gen()));
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(params.pool_threads)
             .build()
@@ -547,8 +559,15 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 let NetworkModel::Async(config) = &params.network else {
                     unreachable!("the arena path is only selected under the async model")
                 };
-                let (arena, metrics, sim_time, sim) =
-                    run_async_phase(config, arena, churn, &EesSumProtocol, exchanges, rng);
+                let (arena, metrics, sim_time, sim) = run_async_phase_with_adversary(
+                    config,
+                    arena,
+                    churn,
+                    &EesSumProtocol,
+                    exchanges,
+                    rng,
+                    adversary_state.as_mut(),
+                );
                 (labels, SumPhase::<B>::Arena { arena, metrics, sim_time, peak_in_flight: sim.peak_in_flight })
             } else {
                 let contributions: Vec<(usize, Vec<B::Unit>)> =
@@ -559,13 +578,14 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                     labels.push(assigned);
                     contribution_vectors.push(BackendVector::new(backend.clone(), units));
                 }
-                let phase = run_phase(
+                let phase = run_phase_with_adversary(
                     &params.network,
                     eesum_initial_states(contribution_vectors),
                     churn,
                     &EesSumProtocol,
                     exchanges,
                     rng,
+                    adversary_state.as_mut(),
                 );
                 (labels, SumPhase::PerNode(phase))
             };
@@ -579,13 +599,14 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             );
 
             let counter_values = vec![1.0; population];
-            let counter_phase = run_phase(
+            let counter_phase = run_phase_with_adversary(
                 &params.network,
                 sum_initial_states(&counter_values),
                 churn,
                 &PushPullSum,
                 exchanges,
                 rng,
+                adversary_state.as_mut(),
             );
             audit.record(iteration, "cleartext contributor counter", DataClass::DataIndependent);
 
@@ -604,10 +625,17 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             // aggregates.  Counter estimate and perturbed sums MUST come
             // from the same device — mixing two nodes' views can pair a
             // counter that saw the weight with sums that did not (or vice
-            // versa) and mis-size the surplus correction.
+            // versa) and mis-size the surplus correction.  Byzantine nodes
+            // are never trusted as the reference: `is_byzantine` is a pure
+            // hash (no RNG), and with an inactive adversary it is false for
+            // every node, so honest runs pick the same reference as ever.
             let reference = (0..population)
-                .position(|i| sum_phase.weight(i) > 0.0 && counter_phase.nodes[i].estimate().is_some())
-                .expect("after the epidemic sums at least one node holds both weights");
+                .position(|i| {
+                    !params.adversary.is_byzantine(i)
+                        && sum_phase.weight(i) > 0.0
+                        && counter_phase.nodes[i].estimate().is_some()
+                })
+                .expect("after the epidemic sums at least one honest node holds both weights");
             let counter_estimate = counter_phase.nodes[reference]
                 .estimate()
                 .expect("reference node was selected for holding a counter estimate");
@@ -668,15 +696,17 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                         row[k * n..].copy_from_slice(&c.count_correction);
                         c.id
                     });
-                    let (arena, metrics, sim_time, sim, phase_converged) = run_async_phase_until(
-                        config,
-                        arena,
-                        churn,
-                        &DisseminationProtocol,
-                        exchanges,
-                        rng,
-                        |arena: &MinIdArena| arena.converged(),
-                    );
+                    let (arena, metrics, sim_time, sim, phase_converged) =
+                        run_async_phase_until_with_adversary(
+                            config,
+                            arena,
+                            churn,
+                            &DisseminationProtocol,
+                            exchanges,
+                            rng,
+                            |arena: &MinIdArena| arena.converged(),
+                            adversary_state.as_mut(),
+                        );
                     let winner = arena.winning_node();
                     let winner_id = arena.id(winner);
                     assert!(
@@ -696,7 +726,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 NetworkModel::Rounds => {
                     let correction_states: Vec<MinIdState<NoiseCorrection>> =
                         corrections.iter().map(|c| MinIdState::new(c.id, c.clone())).collect();
-                    let phase = run_phase_until(
+                    let phase = run_phase_until_with_adversary(
                         &params.network,
                         correction_states,
                         churn,
@@ -704,6 +734,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                         exchanges,
                         rng,
                         converged,
+                        adversary_state.as_mut(),
                     );
                     let winner = winning_state(&phase.nodes);
                     assert!(
@@ -804,6 +835,16 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                 surviving_centroids: assignment.non_empty_clusters(),
                 participating_series: population,
             });
+            // Snapshot this iteration's fault counters (honest runs never
+            // materialise a state and report the zero statistics) and fold
+            // them into the security audit's running totals.
+            let iteration_faults = match adversary_state.as_mut() {
+                Some(state) => state.take_stats(),
+                None => FaultStats::ZERO,
+            };
+            if adversary_state.is_some() {
+                audit.record_faults(&iteration_faults);
+            }
             network.push(IterationNetworkStats {
                 iteration,
                 sum_messages_per_node: sum_phase.metrics().messages_per_node(population)
@@ -821,6 +862,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
                     .peak_in_flight()
                     .max(counter_phase.peak_in_flight)
                     .max(dissemination_peak_in_flight),
+                faults: iteration_faults,
             });
 
             // --- Convergence step. ---
@@ -1321,6 +1363,73 @@ mod tests {
             a.network.iter().any(|s| s.noise_share_deficit > 0),
             "the gossip counter should undershoot nν = population at this churn level"
         );
+    }
+
+    #[test]
+    fn adversarial_run_counts_faults_and_stays_deterministic() {
+        use chiaroscuro_gossip::sim::AdversaryModel;
+        // A 25% byzantine population degrades mixing but must leave the run
+        // a pure function of the seed, with every injected fault accounted
+        // as either detected or absorbed, per iteration and in the audit.
+        let data = tiny_dataset(16);
+        let make_params = || {
+            let mut params = tiny_params(2, 2);
+            params.adversary = AdversaryModel::mixed(0.25, 7);
+            params
+        };
+        let a = DistributedRun::new(make_params(), &data).execute(19);
+        let b = DistributedRun::new(make_params(), &data).execute(19);
+        let a_values: Vec<Vec<f64>> = a.centroids().iter().map(|c| c.values().to_vec()).collect();
+        let b_values: Vec<Vec<f64>> = b.centroids().iter().map(|c| c.values().to_vec()).collect();
+        assert_eq!(a_values, b_values, "adversarial runs must stay seed-deterministic");
+        assert_eq!(a.network, b.network);
+        let total = a.audit.fault_stats();
+        assert!(total.injected_total() > 0, "a quarter of 16 nodes must inject faults");
+        assert_eq!(
+            total.injected_total(),
+            total.detected_total() + total.absorbed_total(),
+            "every injected fault is either detected or absorbed"
+        );
+        let mut merged = FaultStats::ZERO;
+        for stats in &a.network {
+            merged.merge(&stats.faults);
+        }
+        assert_eq!(merged, total, "per-iteration counters must sum to the audit total");
+        assert!(!a.audit.leaked_raw_data(), "R2 holds under byzantine pressure");
+    }
+
+    #[test]
+    fn inactive_adversary_model_is_bit_identical_to_the_honest_run() {
+        use chiaroscuro_gossip::sim::AdversaryModel;
+        // Fraction 0 + eclipse 0 is inactive whatever the class mix: no
+        // extra RNG draw, no code-path change, bit-for-bit the honest run.
+        let data = tiny_dataset(16);
+        let honest = DistributedRun::new(tiny_params(2, 2), &data).execute(19);
+        let mut params = tiny_params(2, 2);
+        params.adversary = AdversaryModel {
+            fraction: 0.0,
+            malformed: 0.9,
+            replay: 0.05,
+            duplicate: 0.02,
+            drop_reply: 0.02,
+            eclipse: 0.0,
+            salt: 3,
+        };
+        let zeroed = DistributedRun::new(params, &data).execute(19);
+        let honest_bits: Vec<Vec<u64>> = honest
+            .centroids()
+            .iter()
+            .map(|c| c.values().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let zeroed_bits: Vec<Vec<u64>> = zeroed
+            .centroids()
+            .iter()
+            .map(|c| c.values().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(honest_bits, zeroed_bits, "an inactive model must not move a single bit");
+        assert_eq!(honest.network, zeroed.network);
+        assert_eq!(honest.audit.events(), zeroed.audit.events());
+        assert_eq!(zeroed.audit.fault_stats(), FaultStats::ZERO);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::Rng;
 
 use crate::churn::ChurnModel;
 use crate::metrics::ExchangeMetrics;
+use crate::sim::adversary::{classify_exchange, AdversaryState, ExchangeFate};
 
 /// A protocol whose whole behaviour is a symmetric pairwise exchange between
 /// an initiator and its contact (push-pull gossip).
@@ -202,6 +203,24 @@ impl<N> GossipEngine<N> {
         self.run_round_with_mask(protocol, &online, rng);
     }
 
+    /// [`GossipEngine::run_round`] under an optional adversary: each planned
+    /// exchange is classified first, and voided ones leave both endpoints
+    /// untouched (and uncounted).  With `None` this is byte-identical to
+    /// [`GossipEngine::run_round`] — the plan and its RNG draws never
+    /// depend on the adversary.
+    pub fn run_round_with_adversary<P, R>(
+        &mut self,
+        protocol: &P,
+        rng: &mut R,
+        adversary: Option<&mut AdversaryState>,
+    ) where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
+        let online = self.churn.sample_mask(self.nodes.len(), rng);
+        self.run_round_with_mask_and_adversary(protocol, &online, rng, adversary);
+    }
+
     /// Runs one gossip round against an explicit per-round connectivity
     /// mask (`online[i]` ⇔ node `i` participates this round).  Exposed so
     /// tests can pin the mask and assert that offline nodes are untouched.
@@ -213,7 +232,28 @@ impl<N> GossipEngine<N> {
         P: PairwiseProtocol<N>,
         R: Rng + ?Sized,
     {
+        self.run_round_with_mask_and_adversary(protocol, online, rng, None);
+    }
+
+    /// [`GossipEngine::run_round_with_mask`] under an optional adversary.
+    /// The exchange schedule (and thus the caller's RNG stream) is planned
+    /// exactly as without one; the adversary only decides, per planned
+    /// exchange and from its own dedicated sub-stream, whether the exchange
+    /// applies or is voided.
+    pub fn run_round_with_mask_and_adversary<P, R>(
+        &mut self,
+        protocol: &P,
+        online: &[bool],
+        rng: &mut R,
+        mut adversary: Option<&mut AdversaryState>,
+    ) where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
         for (initiator, contact) in plan_round_with_mask(self.nodes.len(), online, rng) {
+            if classify_exchange(&mut adversary, initiator, contact) == ExchangeFate::Void {
+                continue;
+            }
             let (a, b) = pair_mut(&mut self.nodes, initiator, contact);
             protocol.exchange(a, b);
             self.metrics.record_exchange();
@@ -227,14 +267,45 @@ impl<N> GossipEngine<N> {
         P: PairwiseProtocol<N>,
         R: Rng + ?Sized,
     {
+        self.run_rounds_with_adversary(protocol, rounds, rng, None);
+    }
+
+    /// [`GossipEngine::run_rounds`] under an optional adversary.
+    pub fn run_rounds_with_adversary<P, R>(
+        &mut self,
+        protocol: &P,
+        rounds: u32,
+        rng: &mut R,
+        mut adversary: Option<&mut AdversaryState>,
+    ) where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+    {
         for _ in 0..rounds {
-            self.run_round(protocol, rng);
+            self.run_round_with_adversary(protocol, rng, adversary.as_deref_mut());
         }
     }
 
     /// Runs rounds until `done` holds over the node states or `max_rounds`
     /// is reached; returns whether the predicate was satisfied.
-    pub fn run_until<P, R, F>(&mut self, protocol: &P, max_rounds: u32, rng: &mut R, mut done: F) -> bool
+    pub fn run_until<P, R, F>(&mut self, protocol: &P, max_rounds: u32, rng: &mut R, done: F) -> bool
+    where
+        P: PairwiseProtocol<N>,
+        R: Rng + ?Sized,
+        F: FnMut(&[N]) -> bool,
+    {
+        self.run_until_with_adversary(protocol, max_rounds, rng, done, None)
+    }
+
+    /// [`GossipEngine::run_until`] under an optional adversary.
+    pub fn run_until_with_adversary<P, R, F>(
+        &mut self,
+        protocol: &P,
+        max_rounds: u32,
+        rng: &mut R,
+        mut done: F,
+        mut adversary: Option<&mut AdversaryState>,
+    ) -> bool
     where
         P: PairwiseProtocol<N>,
         R: Rng + ?Sized,
@@ -244,7 +315,7 @@ impl<N> GossipEngine<N> {
             if done(&self.nodes) {
                 return true;
             }
-            self.run_round(protocol, rng);
+            self.run_round_with_adversary(protocol, rng, adversary.as_deref_mut());
         }
         done(&self.nodes)
     }

@@ -44,7 +44,8 @@ pub use eesum::{EpidemicValue, EesState};
 pub use engine::{GossipEngine, PairwiseProtocol, ParallelProtocolStore};
 pub use metrics::ExchangeMetrics;
 pub use sim::{
-    AsyncGossipEngine, AsyncNetworkConfig, LatencyModel, NetworkModel, ShardedAsyncEngine,
+    AdversaryModel, AdversaryState, AsyncGossipEngine, AsyncNetworkConfig, FaultCounters,
+    FaultStats, LatencyModel, NetworkModel, ShardedAsyncEngine,
 };
 
 /// Commonly used items.
@@ -56,8 +57,8 @@ pub mod prelude {
     pub use crate::engine::{GossipEngine, PairwiseProtocol};
     pub use crate::metrics::ExchangeMetrics;
     pub use crate::sim::{
-        AsyncGossipEngine, AsyncNetworkConfig, CrashSchedule, CrashWindow, LatencyModel,
-        NetworkModel, ShardedAsyncEngine,
+        AdversaryModel, AdversaryState, AsyncGossipEngine, AsyncNetworkConfig, CrashSchedule,
+        CrashWindow, FaultCounters, FaultStats, LatencyModel, NetworkModel, ShardedAsyncEngine,
     };
     pub use crate::sum::{PushPullSum, SumState};
     pub use crate::view::LocalView;

@@ -35,6 +35,7 @@ use rand::Rng;
 use crate::churn::ChurnModel;
 use crate::engine::{PairwiseProtocol, ProtocolStore, StateStore};
 use crate::metrics::ExchangeMetrics;
+use crate::sim::adversary::{classify_exchange, AdversaryState, ExchangeFate};
 use crate::sim::latency::LatencyModel;
 use crate::sim::metrics::{ConvergenceTimes, SimMetrics};
 use crate::sim::queue::EventQueue;
@@ -381,7 +382,19 @@ impl<S: StateStore> AsyncGossipEngine<S> {
     /// the population after every applied exchange (with the two touched
     /// indices and the exchange time) and returns `true` to stop early.
     /// Returns `true` if stopped early.
-    fn drive<P, R, F>(&mut self, protocol: &P, target: f64, rng: &mut R, mut on_exchange: F) -> bool
+    ///
+    /// An adversary, when present, classifies each exchange that survived
+    /// the delivery checks — in delivery order, from its own dedicated
+    /// sub-stream — and voided exchanges skip the apply (the engine's RNG
+    /// stream is untouched either way).
+    fn drive<P, R, F>(
+        &mut self,
+        protocol: &P,
+        target: f64,
+        rng: &mut R,
+        mut adversary: Option<&mut AdversaryState>,
+        mut on_exchange: F,
+    ) -> bool
     where
         S: ProtocolStore<P>,
         R: Rng + ?Sized,
@@ -438,6 +451,10 @@ impl<S: StateStore> AsyncGossipEngine<S> {
                         self.sim.record_lost();
                         continue;
                     }
+                    if classify_exchange(&mut adversary, initiator, contact) == ExchangeFate::Void
+                    {
+                        continue;
+                    }
                     self.nodes.apply_exchange(protocol, initiator, contact);
                     self.metrics.record_exchange();
                     if on_exchange(&self.nodes, initiator, contact, time) {
@@ -465,9 +482,24 @@ impl<S: StateStore> AsyncGossipEngine<S> {
         S: ProtocolStore<P>,
         R: Rng + ?Sized,
     {
+        self.run_for_with_adversary(protocol, duration, rng, None);
+    }
+
+    /// [`AsyncGossipEngine::run_for`] under an optional adversary (see
+    /// [`crate::sim::adversary`]); `None` is byte-identical to `run_for`.
+    pub fn run_for_with_adversary<P, R>(
+        &mut self,
+        protocol: &P,
+        duration: f64,
+        rng: &mut R,
+        adversary: Option<&mut AdversaryState>,
+    ) where
+        S: ProtocolStore<P>,
+        R: Rng + ?Sized,
+    {
         assert!(duration >= 0.0 && duration.is_finite());
         let target = self.horizon + duration;
-        self.drive(protocol, target, rng, |_, _, _, _| false);
+        self.drive(protocol, target, rng, adversary, |_, _, _, _| false);
     }
 
     /// Advances the simulation until `done` holds over the node states or
@@ -477,7 +509,25 @@ impl<S: StateStore> AsyncGossipEngine<S> {
     /// [`AsyncNetworkConfig::convergence_check_period`] of simulated time
     /// when that knob is positive (whole-population predicates are
     /// `O(population)` per call, so per-exchange checking does not scale).
-    pub fn run_until<P, R, F>(&mut self, protocol: &P, duration: f64, rng: &mut R, mut done: F) -> bool
+    pub fn run_until<P, R, F>(&mut self, protocol: &P, duration: f64, rng: &mut R, done: F) -> bool
+    where
+        S: ProtocolStore<P>,
+        R: Rng + ?Sized,
+        F: FnMut(&S) -> bool,
+    {
+        self.run_until_with_adversary(protocol, duration, rng, done, None)
+    }
+
+    /// [`AsyncGossipEngine::run_until`] under an optional adversary;
+    /// `None` is byte-identical to `run_until`.
+    pub fn run_until_with_adversary<P, R, F>(
+        &mut self,
+        protocol: &P,
+        duration: f64,
+        rng: &mut R,
+        mut done: F,
+        adversary: Option<&mut AdversaryState>,
+    ) -> bool
     where
         S: ProtocolStore<P>,
         R: Rng + ?Sized,
@@ -490,7 +540,7 @@ impl<S: StateStore> AsyncGossipEngine<S> {
         let target = self.horizon + duration;
         let period = self.config.convergence_check_period;
         let mut next_check = self.horizon + period;
-        let stopped = self.drive(protocol, target, rng, |nodes, _, _, time| {
+        let stopped = self.drive(protocol, target, rng, adversary, |nodes, _, _, time| {
             if period > 0.0 {
                 if time < next_check {
                     return false;
@@ -529,7 +579,7 @@ impl<N> AsyncGossipEngine<Vec<N>> {
             tracker.observe(i, start, node_done(node));
         }
         let target = start + duration;
-        self.drive(protocol, target, rng, |nodes, initiator, contact, time| {
+        self.drive(protocol, target, rng, None, |nodes, initiator, contact, time| {
             tracker.observe(initiator, time, node_done(&nodes[initiator]));
             tracker.observe(contact, time, node_done(&nodes[contact]));
             false

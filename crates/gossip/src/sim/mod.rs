@@ -25,6 +25,7 @@
 //! seeded RNG in event order, and per-edge heterogeneity is a pure hash —
 //! asserted by the reproducibility tests here and in the scenario matrix.
 
+pub mod adversary;
 pub mod arena;
 pub mod engine;
 pub mod latency;
@@ -33,6 +34,7 @@ pub mod queue;
 pub mod schedule;
 pub mod shard;
 
+pub use adversary::{AdversaryModel, AdversaryState, ExchangeFate, FaultCounters, FaultStats};
 pub use arena::EesUnitArena;
 pub use engine::{AsyncGossipEngine, AsyncNetworkConfig};
 pub use latency::LatencyModel;
@@ -133,16 +135,37 @@ where
     P: Sync,
     R: Rng + ?Sized,
 {
+    run_async_phase_with_adversary(config, nodes, churn, protocol, budget_rounds, rng, None)
+}
+
+/// [`run_async_phase`] under an optional adversary (see
+/// [`adversary`]); `None` is byte-identical to
+/// [`run_async_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_async_phase_with_adversary<S, P, R>(
+    config: &AsyncNetworkConfig,
+    nodes: S,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+    adversary: Option<&mut AdversaryState>,
+) -> (S, ExchangeMetrics, f64, SimMetrics)
+where
+    S: ParallelProtocolStore<P>,
+    P: Sync,
+    R: Rng + ?Sized,
+{
     let horizon = f64::from(budget_rounds) * config.exchange_period;
     if config.sim_shards == 1 {
         let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
-        engine.run_for(protocol, horizon, rng);
+        engine.run_for_with_adversary(protocol, horizon, rng, adversary);
         let sim_time = engine.now();
         let (nodes, metrics, sim) = engine.into_parts();
         (nodes, metrics, sim_time, sim)
     } else {
         let mut engine = ShardedAsyncEngine::new(nodes, config.clone(), churn);
-        engine.run_for(protocol, horizon, rng);
+        engine.run_for_with_adversary(protocol, horizon, rng, adversary);
         let sim_time = engine.now();
         let (nodes, metrics, sim) = engine.into_parts();
         (nodes, metrics, sim_time, sim)
@@ -172,16 +195,47 @@ where
     R: Rng + ?Sized,
     F: FnMut(&S) -> bool,
 {
+    run_async_phase_until_with_adversary(
+        config,
+        nodes,
+        churn,
+        protocol,
+        budget_rounds,
+        rng,
+        done,
+        None,
+    )
+}
+
+/// [`run_async_phase_until`] under an optional adversary; `None` is
+/// byte-identical to [`run_async_phase_until`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_async_phase_until_with_adversary<S, P, R, F>(
+    config: &AsyncNetworkConfig,
+    nodes: S,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+    done: F,
+    adversary: Option<&mut AdversaryState>,
+) -> (S, ExchangeMetrics, f64, SimMetrics, bool)
+where
+    S: ParallelProtocolStore<P>,
+    P: Sync,
+    R: Rng + ?Sized,
+    F: FnMut(&S) -> bool,
+{
     let horizon = f64::from(budget_rounds) * config.exchange_period;
     if config.sim_shards == 1 {
         let mut engine = AsyncGossipEngine::new(nodes, config.clone(), churn);
-        let converged = engine.run_until(protocol, horizon, rng, done);
+        let converged = engine.run_until_with_adversary(protocol, horizon, rng, done, adversary);
         let sim_time = engine.now();
         let (nodes, metrics, sim) = engine.into_parts();
         (nodes, metrics, sim_time, sim, converged)
     } else {
         let mut engine = ShardedAsyncEngine::new(nodes, config.clone(), churn);
-        let converged = engine.run_until(protocol, horizon, rng, done);
+        let converged = engine.run_until_with_adversary(protocol, horizon, rng, done, adversary);
         let sim_time = engine.now();
         let (nodes, metrics, sim) = engine.into_parts();
         (nodes, metrics, sim_time, sim, converged)
@@ -204,10 +258,33 @@ where
     P: PairwiseProtocol<N> + Sync,
     R: Rng + ?Sized,
 {
+    run_phase_with_adversary(network, nodes, churn, protocol, budget_rounds, rng, None)
+}
+
+/// [`run_phase`] under an optional adversary (see
+/// [`adversary`]): the network schedule and its RNG
+/// draws are identical; the adversary only voids a seeded subset of the
+/// scheduled exchanges and accounts them per fault class.  `None` is
+/// byte-identical to [`run_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_with_adversary<N, P, R>(
+    network: &NetworkModel,
+    nodes: Vec<N>,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
+    adversary: Option<&mut AdversaryState>,
+) -> PhaseOutcome<N>
+where
+    N: Send,
+    P: PairwiseProtocol<N> + Sync,
+    R: Rng + ?Sized,
+{
     match network {
         NetworkModel::Rounds => {
             let mut engine = GossipEngine::new(nodes, churn);
-            engine.run_rounds(protocol, budget_rounds, rng);
+            engine.run_rounds_with_adversary(protocol, budget_rounds, rng, adversary);
             let (nodes, metrics) = engine.into_parts();
             PhaseOutcome {
                 nodes,
@@ -220,8 +297,15 @@ where
             }
         }
         NetworkModel::Async(config) => {
-            let (nodes, metrics, sim_time, sim) =
-                run_async_phase(config, nodes, churn, protocol, budget_rounds, rng);
+            let (nodes, metrics, sim_time, sim) = run_async_phase_with_adversary(
+                config,
+                nodes,
+                churn,
+                protocol,
+                budget_rounds,
+                rng,
+                adversary,
+            );
             PhaseOutcome {
                 nodes,
                 metrics,
@@ -245,7 +329,29 @@ pub fn run_phase_until<N, P, R, F>(
     protocol: &P,
     budget_rounds: u32,
     rng: &mut R,
+    done: F,
+) -> PhaseOutcome<N>
+where
+    N: Send,
+    P: PairwiseProtocol<N> + Sync,
+    R: Rng + ?Sized,
+    F: FnMut(&[N]) -> bool,
+{
+    run_phase_until_with_adversary(network, nodes, churn, protocol, budget_rounds, rng, done, None)
+}
+
+/// [`run_phase_until`] under an optional adversary; `None` is
+/// byte-identical to [`run_phase_until`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_until_with_adversary<N, P, R, F>(
+    network: &NetworkModel,
+    nodes: Vec<N>,
+    churn: ChurnModel,
+    protocol: &P,
+    budget_rounds: u32,
+    rng: &mut R,
     mut done: F,
+    adversary: Option<&mut AdversaryState>,
 ) -> PhaseOutcome<N>
 where
     N: Send,
@@ -256,7 +362,8 @@ where
     match network {
         NetworkModel::Rounds => {
             let mut engine = GossipEngine::new(nodes, churn);
-            let converged = engine.run_until(protocol, budget_rounds, rng, done);
+            let converged =
+                engine.run_until_with_adversary(protocol, budget_rounds, rng, done, adversary);
             let (nodes, metrics) = engine.into_parts();
             PhaseOutcome {
                 nodes,
@@ -269,7 +376,7 @@ where
             }
         }
         NetworkModel::Async(config) => {
-            let (nodes, metrics, sim_time, sim, converged) = run_async_phase_until(
+            let (nodes, metrics, sim_time, sim, converged) = run_async_phase_until_with_adversary(
                 config,
                 nodes,
                 churn,
@@ -277,6 +384,7 @@ where
                 budget_rounds,
                 rng,
                 |nodes: &Vec<N>| done(nodes),
+                adversary,
             );
             PhaseOutcome {
                 nodes,

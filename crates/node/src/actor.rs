@@ -1,8 +1,21 @@
 //! The actor abstraction and its transport-driven serve loop.
+//!
+//! The serve loop is the node's trust boundary: a decoded frame's `from`
+//! and `to` header fields are attacker-controlled bytes, not facts.  Every
+//! received frame is therefore validated against the serving node's
+//! registered id before its event reaches the actor — a frame addressed to
+//! another node (misrouted or a spoofed `to`) and a frame claiming the
+//! node's own id as its sender (a reflected `from`) are both rejected.  An
+//! optional replay gate ([`FrameGuard::with_replay_window`]) additionally
+//! drops byte-identical repeats of recently accepted frames; it is opt-in
+//! because the honest coordinator legitimately re-sends identical frames
+//! (every `ReadoutRequest` of a phase is the same bytes).
 
+use std::collections::VecDeque;
 use std::io;
 
 use crate::event::NodeEvent;
+use crate::frame::Frame;
 use crate::transport::Transport;
 use crate::NodeId;
 
@@ -17,23 +30,160 @@ pub trait Actor {
     fn on_event(&mut self, from: NodeId, event: NodeEvent) -> Vec<(NodeId, NodeEvent)>;
 }
 
+/// Counters of frames a serve loop refused at the transport boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectedFrames {
+    /// Frames whose `to` field named a different node: misrouted by the
+    /// coordinator, or carrying a spoofed destination.
+    pub misaddressed: u64,
+    /// Frames whose `from` field claimed the serving node's own id.
+    pub self_spoofed: u64,
+    /// Byte-identical repeats of recently accepted frames caught by the
+    /// replay window.
+    pub replayed: u64,
+}
+
+impl RejectedFrames {
+    /// Total rejected frames across all classes.
+    pub fn total(&self) -> u64 {
+        self.misaddressed + self.self_spoofed + self.replayed
+    }
+}
+
+/// How [`FrameGuard::admit`] ruled on one received frame.
+#[derive(Debug)]
+enum Admission {
+    /// Deliver the frame to the actor.
+    Accept,
+    /// Drop the frame silently (counted) and keep serving.
+    Drop,
+    /// Abort the serve loop with this error.
+    Reject(io::Error),
+}
+
+/// Transport-boundary admission policy for [`serve_guarded`].
+///
+/// Address validation is always on; the replay gate is enabled by giving
+/// the guard a non-zero window of frame digests to remember.  Misaddressed
+/// and self-spoofed frames abort the loop (in a reproduction a bad frame
+/// is a bug worth surfacing loudly); replays are dropped and counted but
+/// keep the node serving, because tolerating them — not crashing — is the
+/// whole point of detecting them.
+#[derive(Debug)]
+pub struct FrameGuard {
+    id: NodeId,
+    replay_window: usize,
+    seen: VecDeque<u64>,
+    rejected: RejectedFrames,
+}
+
+impl FrameGuard {
+    /// A guard for the given node id with the replay gate off.
+    pub fn new(id: NodeId) -> Self {
+        FrameGuard { id, replay_window: 0, seen: VecDeque::new(), rejected: RejectedFrames::default() }
+    }
+
+    /// Enables the replay gate: the digests of the last `window` accepted
+    /// frames are remembered, and an incoming frame matching any of them
+    /// is dropped and counted instead of delivered.
+    pub fn with_replay_window(mut self, window: usize) -> Self {
+        self.replay_window = window;
+        self
+    }
+
+    /// The node id this guard validates against.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Counters of everything this guard refused so far.
+    pub fn rejected(&self) -> RejectedFrames {
+        self.rejected
+    }
+
+    /// Rules on one received frame.
+    fn admit(&mut self, frame: &Frame) -> Admission {
+        if frame.to != self.id {
+            self.rejected.misaddressed += 1;
+            return Admission::Reject(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame addressed to node {} arrived at node {}", frame.to, self.id),
+            ));
+        }
+        if frame.from == self.id {
+            self.rejected.self_spoofed += 1;
+            return Admission::Reject(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame claims node {}'s own id as its sender", self.id),
+            ));
+        }
+        if self.replay_window > 0 {
+            let digest = frame_digest(frame);
+            if self.seen.contains(&digest) {
+                self.rejected.replayed += 1;
+                return Admission::Drop;
+            }
+            if self.seen.len() == self.replay_window {
+                self.seen.pop_front();
+            }
+            self.seen.push_back(digest);
+        }
+        Admission::Accept
+    }
+}
+
+/// FNV-1a over a frame's addressed content (kind, from, to, payload): the
+/// replay gate's identity of "the same frame again".
+fn frame_digest(frame: &Frame) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(frame.kind);
+    frame.from.to_be_bytes().into_iter().for_each(&mut eat);
+    frame.to.to_be_bytes().into_iter().for_each(&mut eat);
+    frame.payload.iter().copied().for_each(&mut eat);
+    h
+}
+
 /// Drives an actor from a transport until [`NodeEvent::Shutdown`] arrives.
 ///
-/// Every received frame is decoded into a typed event and handed to the
-/// actor; replies are framed with `from = id` and sent back over the same
-/// link (the star topology: the coordinator routes frames addressed to
-/// other nodes).  Malformed frames abort the loop with the decode error —
-/// a deployment would log-and-drop, but in a reproduction a bad frame is
-/// always a bug worth surfacing.
+/// Every received frame is validated against `id` (see [`FrameGuard`]),
+/// decoded into a typed event and handed to the actor; replies are framed
+/// with `from = id` and sent back over the same link (the star topology:
+/// the coordinator routes frames addressed to other nodes).  Malformed,
+/// misaddressed and sender-spoofed frames abort the loop with a typed
+/// error — a deployment would log-and-drop, but in a reproduction a bad
+/// frame is always a bug worth surfacing.
 pub fn serve<T: Transport, A: Actor>(id: NodeId, transport: &mut T, actor: &mut A) -> io::Result<()> {
+    let mut guard = FrameGuard::new(id);
+    serve_guarded(transport, actor, &mut guard)
+}
+
+/// [`serve`] under an explicit admission policy: address validation plus
+/// the optional replay gate.  The guard's [`FrameGuard::rejected`]
+/// counters survive the loop, so callers can audit what was refused.
+pub fn serve_guarded<T: Transport, A: Actor>(
+    transport: &mut T,
+    actor: &mut A,
+    guard: &mut FrameGuard,
+) -> io::Result<()> {
     loop {
         let frame = transport.recv()?;
+        match guard.admit(&frame) {
+            Admission::Accept => {}
+            Admission::Drop => continue,
+            Admission::Reject(err) => return Err(err),
+        }
         let event = NodeEvent::from_frame(&frame).map_err(io::Error::from)?;
         if matches!(event, NodeEvent::Shutdown) {
             return Ok(());
         }
         for (to, reply) in actor.on_event(frame.from, event) {
-            transport.send(&reply.into_frame(id, to))?;
+            transport.send(&reply.into_frame(guard.id(), to))?;
         }
     }
 }
@@ -83,5 +233,108 @@ mod tests {
 
         coordinator.send(&NodeEvent::Shutdown.into_frame(COORDINATOR, 7)).unwrap();
         assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn misaddressed_frames_are_rejected_not_processed() {
+        // Regression: the serve loop used to trust the decoded `to` field.
+        // A frame routed to node 7 but addressed to node 9 must never reach
+        // the actor.
+        let (mut coordinator, mut node) = InMemoryTransport::pair();
+        let handle = std::thread::spawn(move || {
+            let mut actor = Echo { handled: 0 };
+            let mut guard = FrameGuard::new(7);
+            let result = serve_guarded(&mut node, &mut actor, &mut guard);
+            (result, actor.handled, guard.rejected())
+        });
+
+        coordinator
+            .send(&NodeEvent::Hello { config: vec![1] }.into_frame(COORDINATOR, 9))
+            .unwrap();
+        let (result, handled, rejected) = handle.join().unwrap();
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(handled, 0, "the actor must never see a misaddressed event");
+        assert_eq!(rejected.misaddressed, 1);
+        assert_eq!(rejected.total(), 1);
+    }
+
+    #[test]
+    fn sender_spoofed_frames_are_rejected_not_processed() {
+        // Regression: the serve loop used to trust the decoded `from`
+        // field.  A frame claiming node 7's own id as its sender is a spoof
+        // by construction (a node never sends to itself) and must abort.
+        let (mut coordinator, mut node) = InMemoryTransport::pair();
+        let handle = std::thread::spawn(move || {
+            let mut actor = Echo { handled: 0 };
+            let mut guard = FrameGuard::new(7);
+            let result = serve_guarded(&mut node, &mut actor, &mut guard);
+            (result, actor.handled, guard.rejected())
+        });
+
+        coordinator.send(&NodeEvent::Hello { config: vec![1] }.into_frame(7, 7)).unwrap();
+        let (result, handled, rejected) = handle.join().unwrap();
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::InvalidData);
+        assert_eq!(handled, 0);
+        assert_eq!(rejected.self_spoofed, 1);
+    }
+
+    #[test]
+    fn replay_gate_drops_repeats_but_keeps_serving() {
+        let (mut coordinator, mut node) = InMemoryTransport::pair();
+        let handle = std::thread::spawn(move || {
+            let mut actor = Echo { handled: 0 };
+            let mut guard = FrameGuard::new(7).with_replay_window(8);
+            serve_guarded(&mut node, &mut actor, &mut guard).unwrap();
+            (actor.handled, guard.rejected())
+        });
+
+        let hello = NodeEvent::Hello { config: vec![1, 2, 3] }.into_frame(COORDINATOR, 7);
+        coordinator.send(&hello).unwrap();
+        coordinator.send(&hello).unwrap(); // byte-identical replay
+        let _ = coordinator.recv().unwrap(); // exactly one reply comes back
+        coordinator.send(&NodeEvent::Shutdown.into_frame(COORDINATOR, 7)).unwrap();
+        let (handled, rejected) = handle.join().unwrap();
+        assert_eq!(handled, 1, "the replayed frame must not reach the actor");
+        assert_eq!(rejected.replayed, 1);
+    }
+
+    #[test]
+    fn default_serve_tolerates_honest_identical_resends() {
+        // The honest coordinator re-sends byte-identical frames (every
+        // ReadoutRequest of a phase): the default loop must deliver all of
+        // them, which is why the replay gate is opt-in.
+        let (mut coordinator, mut node) = InMemoryTransport::pair();
+        let handle = std::thread::spawn(move || {
+            let mut actor = Echo { handled: 0 };
+            serve(7, &mut node, &mut actor).unwrap();
+            actor.handled
+        });
+
+        let hello = NodeEvent::Hello { config: vec![9] }.into_frame(COORDINATOR, 7);
+        coordinator.send(&hello).unwrap();
+        coordinator.send(&hello).unwrap();
+        let _ = coordinator.recv().unwrap();
+        let _ = coordinator.recv().unwrap();
+        coordinator.send(&NodeEvent::Shutdown.into_frame(COORDINATOR, 7)).unwrap();
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn replay_window_is_bounded_and_evicts_oldest_digests() {
+        let mut guard = FrameGuard::new(3).with_replay_window(2);
+        let frame = |kind: u8| Frame { kind, from: 0, to: 3, payload: vec![kind] };
+        assert!(matches!(guard.admit(&frame(1)), Admission::Accept));
+        assert!(matches!(guard.admit(&frame(2)), Admission::Accept));
+        // Frame 3 evicts frame 1's digest from the two-slot window...
+        assert!(matches!(guard.admit(&frame(3)), Admission::Accept));
+        // ...so frame 1 is admitted again (evicting frame 2 in turn),
+        // leaving the window holding {3, 1}: those two are replays.
+        assert!(matches!(guard.admit(&frame(1)), Admission::Accept));
+        assert!(matches!(guard.admit(&frame(3)), Admission::Drop));
+        assert!(matches!(guard.admit(&frame(1)), Admission::Drop));
+        // Frame 2 was evicted, so it passes — the window is bounded.
+        assert!(matches!(guard.admit(&frame(2)), Admission::Accept));
+        assert_eq!(guard.rejected().replayed, 2);
     }
 }

@@ -38,7 +38,7 @@ pub type NodeId = u32;
 /// The coordinator's reserved address (never a valid node index).
 pub const COORDINATOR: NodeId = NodeId::MAX;
 
-pub use actor::{serve, Actor};
+pub use actor::{serve, serve_guarded, Actor, FrameGuard, RejectedFrames};
 pub use bus::LocalBus;
 pub use event::{NodeEvent, Phase};
 pub use frame::{Frame, FrameError};

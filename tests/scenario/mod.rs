@@ -91,6 +91,11 @@ pub struct ScenarioSpec {
     /// Paper-scale key size override (surrogate scale scenarios use
     /// 1024-bit layouts so the lane plan fits 100k-node budgets).
     pub key_bits: u64,
+    /// Byzantine adversary model (fault injection at the gossip exchange
+    /// boundary).  [`AdversaryModel::NONE`] — the default everywhere but
+    /// the adversary scenarios — must be bit-identical to the historical
+    /// honest runs, which the matrix asserts against the pinned seeds.
+    pub adversary: AdversaryModel,
 }
 
 /// The two execution paths of one scenario, run from the same seed.
@@ -153,7 +158,8 @@ impl ScenarioSpec {
             .churn(self.churn)
             .pool_threads(self.pool_threads)
             .lane_packing(self.lane_packing)
-            .network(self.network.clone());
+            .network(self.network.clone())
+            .adversary(self.adversary);
         if self.sim_shards > 1 {
             builder = builder.sim_shards(self.sim_shards);
         }

@@ -11,7 +11,7 @@
 
 mod scenario;
 
-use chiaroscuro::core::prelude::{BudgetStrategy, NetworkModel};
+use chiaroscuro::core::prelude::{AdversaryModel, BudgetStrategy, NetworkModel};
 use scenario::ScenarioSpec;
 
 /// Baseline: modest population, two clusters, generous budget, no churn,
@@ -38,6 +38,7 @@ fn baseline() -> ScenarioSpec {
         sim_shards: 1,
         surrogate: false,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
     }
 }
 
@@ -68,6 +69,7 @@ fn scenario_churn_uniform_fast() {
         sim_shards: 1,
         surrogate: false,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
     }
     .run()
     .assert_all();
@@ -93,6 +95,7 @@ fn scenario_three_clusters_larger_population() {
         sim_shards: 1,
         surrogate: false,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
     }
     .run()
     .assert_all();
@@ -121,6 +124,7 @@ fn scenario_tight_budget_greedy_floor() {
         sim_shards: 1,
         surrogate: false,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
     }
     .run()
     .assert_all();
@@ -147,6 +151,7 @@ fn scenario_churn_and_tight_budget_combined() {
         sim_shards: 1,
         surrogate: false,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
     }
     .run()
     .assert_all();
@@ -241,6 +246,7 @@ fn scenario_lane_packing_is_bit_exact_with_legacy() {
         sim_shards: 1,
             surrogate: false,
             key_bits: 256,
+            adversary: AdversaryModel::NONE,
         },
     ];
     for legacy_spec in shapes {
@@ -526,6 +532,154 @@ fn scenario_surrogate_arena_is_bit_exact_with_crypto_under_async_delivery() {
     surrogate.assert_budget_respected();
 }
 
+/// Collects each centroid's values for bit-exact comparisons.
+fn centroid_values(outcome: &scenario::ScenarioOutcome) -> Vec<Vec<f64>> {
+    outcome.distributed.centroids().iter().map(|c| c.values().to_vec()).collect()
+}
+
+#[test]
+fn scenario_adversary_fraction_zero_is_bit_identical_to_honest_baseline() {
+    // The determinism contract of the fault-injection subsystem: a model
+    // with fraction 0 (and eclipse 0) is inactive whatever its class mix —
+    // no extra RNG draw, no code-path change — so the pinned baseline seed
+    // must reproduce bit-for-bit against the honest run.
+    let honest = baseline();
+    let mut zeroed = baseline();
+    zeroed.name = "adversary-fraction-zero";
+    zeroed.adversary = AdversaryModel {
+        fraction: 0.0,
+        malformed: 0.9,
+        replay: 0.05,
+        duplicate: 0.02,
+        drop_reply: 0.02,
+        eclipse: 0.0,
+        salt: 0xFA17,
+    };
+    let a = honest.run();
+    let b = zeroed.run();
+    assert_eq!(
+        centroid_values(&a),
+        centroid_values(&b),
+        "an inactive adversary model must not move a single centroid bit"
+    );
+    assert_eq!(a.distributed.network, b.distributed.network);
+    assert_eq!(a.distributed.audit.events(), b.distributed.audit.events());
+    assert_eq!(
+        b.distributed.audit.fault_stats(),
+        chiaroscuro::core::prelude::FaultStats::ZERO,
+        "honest runs report all-zero fault counters"
+    );
+    b.assert_all();
+}
+
+#[test]
+fn scenario_adversary_smoke_10pct_byzantine() {
+    // CI's adversary smoke lane: 10% of the population byzantine under the
+    // mixed fault profile.  The run must complete, hold the R2 audit, and
+    // report nonzero injected/detected counters with conservation
+    // (injected = detected + absorbed), reproducibly from the seed.
+    let mut spec = baseline();
+    spec.name = "adversary-smoke-10pct";
+    spec.adversary = AdversaryModel::mixed(0.10, 0xB52);
+    spec.check_structure = false; // voided exchanges waste mixing budget
+    let a = spec.run();
+    let b = spec.run();
+    assert_eq!(
+        centroid_values(&a),
+        centroid_values(&b),
+        "adversarial runs must be bit-reproducible from the seed"
+    );
+    assert_eq!(a.distributed.network, b.distributed.network);
+    a.assert_r2_audit();
+    a.assert_budget_respected();
+    let faults = a.distributed.audit.fault_stats();
+    assert!(faults.injected_total() > 0, "10% byzantine must inject faults");
+    assert!(faults.detected_total() > 0, "malformed/replayed faults are detected");
+    assert_eq!(
+        faults.injected_total(),
+        faults.detected_total() + faults.absorbed_total(),
+        "every injected fault is either detected or absorbed"
+    );
+    // The per-iteration stats carry the same counters the audit totals.
+    let injected_from_iterations: u64 =
+        a.distributed.network.iter().map(|s| s.faults.injected_total()).sum();
+    assert_eq!(injected_from_iterations, faults.injected_total());
+}
+
+#[test]
+fn scenario_adversary_async_sharded_engine_is_shard_count_agnostic() {
+    // The fault stream must be a pure function of the seed, not of the
+    // shard count: the sharded engine classifies exchanges inside the
+    // barrier's deterministic serial merge, so 2 and 4 shards produce
+    // bit-identical centroids AND bit-identical fault counters.
+    let mut spec = baseline();
+    spec.name = "adversary-async-sharded";
+    spec.network = wan_network();
+    spec.adversary = AdversaryModel::mixed(0.10, 0xB52);
+    spec.check_structure = false;
+    spec.sim_shards = 2;
+    let two = spec.run();
+    let mut other = spec.clone();
+    other.name = "adversary-async-sharded-4";
+    other.sim_shards = 4;
+    let four = other.run();
+    assert_eq!(
+        centroid_values(&two),
+        centroid_values(&four),
+        "the shard count must not change a single decoded bit under an adversary"
+    );
+    assert_eq!(two.distributed.network, four.distributed.network);
+    assert_eq!(
+        two.distributed.audit.fault_stats(),
+        four.distributed.audit.fault_stats(),
+        "fault counters are shard-count-invariant"
+    );
+    assert!(two.distributed.audit.fault_stats().injected_total() > 0);
+    two.assert_r2_audit();
+
+    // The serial event queue (sim_shards = 1) follows its own trajectory
+    // but must be just as reproducible under the same adversary config.
+    let mut serial = spec.clone();
+    serial.name = "adversary-async-serial";
+    serial.sim_shards = 1;
+    let s1 = serial.run();
+    let s2 = serial.run();
+    assert_eq!(centroid_values(&s1), centroid_values(&s2));
+    assert_eq!(s1.distributed.network, s2.distributed.network);
+}
+
+#[test]
+fn scenario_adversary_fault_counters_match_across_cipher_backends() {
+    // The fault schedule lives entirely in the exchange layer: the
+    // Damgård–Jurik backend and the plaintext surrogate consume identical
+    // RNG streams, so from the same seed they must report identical
+    // per-iteration fault counters — and decode identical centroids.
+    let mut crypto_spec = baseline();
+    crypto_spec.name = "adversary-backend-crypto";
+    crypto_spec.exchanges = 8; // lane packing needs >1 lane at 256-bit keys
+    crypto_spec.lane_packing = true;
+    crypto_spec.adversary = AdversaryModel::mixed(0.10, 0xB52);
+    crypto_spec.check_structure = false;
+    let mut surrogate_spec = crypto_spec.clone();
+    surrogate_spec.name = "adversary-backend-surrogate";
+    surrogate_spec.surrogate = true;
+    let crypto = crypto_spec.run();
+    let surrogate = surrogate_spec.run();
+    assert_eq!(
+        centroid_values(&crypto),
+        centroid_values(&surrogate),
+        "both backends must decode identical centroids under the same adversary"
+    );
+    for (c, s) in crypto.distributed.network.iter().zip(surrogate.distributed.network.iter()) {
+        assert_eq!(c.faults, s.faults, "fault counters must be backend-independent");
+    }
+    assert_eq!(
+        crypto.distributed.audit.fault_stats(),
+        surrogate.distributed.audit.fault_stats()
+    );
+    assert!(crypto.distributed.audit.fault_stats().injected_total() > 0);
+}
+
 /// The 100k-node scale scenario (run by CI's release smoke lane via
 /// `cargo test --release -- --ignored scale`): the full protocol — EESum
 /// over the lane arena, cleartext counter, surplus dissemination, packed
@@ -535,6 +689,7 @@ fn scenario_surrogate_arena_is_bit_exact_with_crypto_under_async_delivery() {
 #[ignore = "release-mode scale smoke lane (CI runs it explicitly)"]
 fn scenario_scale_100k_surrogate_async() {
     use chiaroscuro::core::prelude::{AsyncNetworkConfig, LatencyModel};
+    let started = std::time::Instant::now();
     let scale_spec = ScenarioSpec {
         name: "scale-100k-surrogate",
         population: 100_000,
@@ -559,6 +714,7 @@ fn scenario_scale_100k_surrogate_async() {
         sim_shards: 1,
         surrogate: true,
         key_bits: 1024, // paper-scale layout: the lane plan must fit 100k budgets
+        adversary: AdversaryModel::NONE,
     };
     let scale = scale_spec.run();
     scale.assert_all();
@@ -584,6 +740,7 @@ fn scenario_scale_100k_surrogate_async() {
         population: 16,
         exchanges: 8,
         key_bits: 256,
+        adversary: AdversaryModel::NONE,
         surrogate: false,
         network: NetworkModel::Rounds,
         sim_shards: 1,
@@ -603,6 +760,72 @@ fn scenario_scale_100k_surrogate_async() {
         assert!(
             (a - b).abs() < scale_spec.structure_tolerance,
             "scale centroid {a:.2} vs small-crypto centroid {b:.2}"
+        );
+    }
+
+    // Runtime budget (release builds only): this lane historically runs in
+    // well under a minute; a silent multi-x slowdown would otherwise creep
+    // into CI unnoticed, so it fails loudly here instead.
+    if !cfg!(debug_assertions) {
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(300),
+            "scale smoke lane took {elapsed:?}, past its 300 s runtime budget"
+        );
+    }
+}
+
+/// The adversarial release e2e (run by CI's adversary smoke lane via
+/// `cargo test --release -- --ignored adversary`): a 2 000-node surrogate
+/// async run with 10% byzantine participants must complete inside its
+/// runtime budget, keep the R2 audit, count faults, and still recover the
+/// cluster structure — the mixed profile at this fraction only wastes a
+/// slice of the mixing budget.
+#[test]
+#[ignore = "release-mode adversary smoke lane (CI runs it explicitly)"]
+fn scenario_adversary_release_e2e_2k_nodes() {
+    use chiaroscuro::core::prelude::{AsyncNetworkConfig, LatencyModel};
+    let started = std::time::Instant::now();
+    let spec = ScenarioSpec {
+        name: "adversary-release-2k",
+        population: 2_000,
+        k: 2,
+        epsilon: 30.0,
+        churn: 0.0,
+        strategy: BudgetStrategy::UniformFast { max_iterations: 2 },
+        max_iterations: 2,
+        seed: 0xC1A0_0A0A,
+        structure_tolerance: 8.0,
+        check_structure: true,
+        pool_threads: 0,
+        exchanges: 20,
+        lane_packing: true,
+        network: NetworkModel::Async(
+            AsyncNetworkConfig::default()
+                .with_latency(LatencyModel::LogNormal { median: 0.25, sigma: 0.5 })
+                .with_convergence_check_period(1.0),
+        ),
+        sim_shards: 4,
+        surrogate: true,
+        key_bits: 1024,
+        adversary: AdversaryModel::mixed(0.10, 0xB52),
+    };
+    let outcome = spec.run();
+    outcome.assert_all();
+    let faults = outcome.distributed.audit.fault_stats();
+    assert!(faults.injected_total() > 0, "10% of 2 000 nodes must inject faults");
+    assert!(faults.detected_total() > 0);
+    assert_eq!(faults.injected_total(), faults.detected_total() + faults.absorbed_total());
+    for stats in &outcome.distributed.network {
+        assert!(stats.faults.injected_total() > 0, "every iteration sees byzantine exchanges");
+    }
+
+    // Runtime budget (release builds only), mirroring the scale lane.
+    if !cfg!(debug_assertions) {
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(120),
+            "adversary release lane took {elapsed:?}, past its 120 s runtime budget"
         );
     }
 }
