@@ -23,7 +23,7 @@ fn bench_epidemic_sum_rounds(c: &mut Criterion) {
                 let mut engine = GossipEngine::new(initial_states(&values), ChurnModel::NONE);
                 engine.run_rounds(&PushPullSum, 30, &mut rng);
                 black_box(engine.metrics().messages())
-            })
+            });
         });
     }
     group.finish();
@@ -41,7 +41,7 @@ fn bench_dissemination(c: &mut Criterion) {
                 let mut engine = GossipEngine::new(states, ChurnModel::NONE);
                 engine.run_rounds(&DisseminationProtocol, 20, &mut rng);
                 black_box(engine.nodes()[0].id)
-            })
+            });
         });
     }
     group.finish();

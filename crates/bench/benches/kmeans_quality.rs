@@ -25,7 +25,7 @@ fn bench_quality_surrogate(c: &mut Criterion) {
             let report = KMeans::new(KMeansConfig { max_iterations: 5, convergence_threshold: 0.0 })
                 .run(&data, &init, &mut rng);
             black_box(report.num_iterations())
-        })
+        });
     });
 
     for (name, strategy) in [
@@ -46,7 +46,7 @@ fn bench_quality_surrogate(c: &mut Criterion) {
                 };
                 let report = PerturbedKMeans::new(config).run(&data, &init, &mut rng);
                 black_box(report.num_iterations())
-            })
+            });
         });
     }
     group.finish();

@@ -23,16 +23,16 @@ fn bench_cipher_ops(c: &mut Criterion) {
         let c1 = kp.public.encrypt(&m, &mut rng);
         let c2 = kp.public.encrypt(&m, &mut rng);
         group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public.encrypt(&m, &mut rng)))
+            b.iter(|| black_box(kp.public.encrypt(&m, &mut rng)));
         });
         group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public.add(&c1, &c2)))
+            b.iter(|| black_box(kp.public.add(&c1, &c2)));
         });
         group.bench_with_input(BenchmarkId::new("scale_pow2", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public.scale_pow2(&c1, 4)))
+            b.iter(|| black_box(kp.public.scale_pow2(&c1, 4)));
         });
         group.bench_with_input(BenchmarkId::new("full_key_decrypt", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.secret.decrypt(&kp.public, &c1)))
+            b.iter(|| black_box(kp.secret.decrypt(&kp.public, &c1)));
         });
 
         let dealer = ThresholdDealer::new(&kp, 8, 3);
@@ -42,7 +42,7 @@ fn bench_cipher_ops(c: &mut Criterion) {
                 let partials: Vec<PartialDecryption> =
                     shares[..3].iter().map(|s| s.partial_decrypt(&kp.public, &c1)).collect();
                 black_box(combine(&kp.public, &partials, 3, 8).unwrap())
-            })
+            });
         });
     }
     group.finish();
@@ -62,13 +62,13 @@ fn bench_mean_set(c: &mut Criterion) {
         b.iter(|| {
             let encrypted: Vec<_> = values.iter().map(|v| kp.public.encrypt(v, &mut rng)).collect();
             black_box(encrypted)
-        })
+        });
     });
     group.bench_function("add_two_sets", |b| {
         b.iter(|| {
             let summed: Vec<_> = set.iter().zip(set.iter()).map(|(a, b2)| kp.public.add(a, b2)).collect();
             black_box(summed)
-        })
+        });
     });
     group.finish();
 }

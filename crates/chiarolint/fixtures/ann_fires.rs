@@ -1,0 +1,9 @@
+// Fixture: the ANN meta-rule must fire on malformed waivers (and the
+// malformed waiver must NOT suppress the underlying finding).
+fn violate() {
+    // chiarolint: allow(D1)
+    let t0 = std::time::Instant::now();      // line 5: waiver has no reason
+    // chiarolint: allow(Q9) -- no such rule
+    let t1 = std::time::Instant::now();      // line 7: unknown rule
+    drop((t0, t1));
+}

@@ -1,0 +1,10 @@
+// Fixture: the clean twin of d1_fires.rs — simulated time, seeded RNG,
+// string/comment mentions, and an annotated waiver must all pass.
+fn clean(clock: &SimClock) {
+    let now = clock.now(); // a simulated clock, not Instant::now in a string
+    let label = "Instant::now"; // literal contents are stripped
+    let mut rng = StdRng::seed_from_u64(mix(7, 1, 2));
+    // chiarolint: allow(D1) -- fixture demonstrating a justified waiver
+    let t0 = std::time::Instant::now();
+    drop((now, label, rng, t0));
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 must fire on every wall-clock / OS-entropy source.
+fn violate() {
+    let t0 = std::time::Instant::now();          // line 3: Instant::now
+    let epoch = std::time::SystemTime::now();    // line 4: SystemTime
+    let mut rng = rand::thread_rng();            // line 5: thread_rng
+    let seeded = StdRng::from_entropy();         // line 6: from_entropy
+    drop((t0, epoch, rng, seeded));
+}

@@ -1,0 +1,28 @@
+// Fixture: the clean twin of d2_fires.rs — keyed lookup into a hash
+// collection, iteration over ordered collections, and sorted projections
+// all pass under a protocol-crate path.
+use std::collections::{BTreeMap, HashMap};
+
+fn clean(table: &HashMap<u32, u64>, ordered: &BTreeMap<u32, u64>) {
+    let hit = table.get(&7);                  // keyed lookup is fine
+    let present = table.contains_key(&7);
+    for (k, v) in ordered.iter() {            // BTreeMap iteration is fine
+        drop((k, v));
+    }
+    let mut keys: Vec<u32> = Vec::new();      // sorted projection
+    keys.sort_unstable();
+    for k in &keys {
+        drop(table.get(k));
+    }
+    drop((hit, present));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: pinned assertions may iterate freely.
+    fn test_only(table: &std::collections::HashMap<u32, u64>) {
+        for (k, v) in table.iter() {
+            drop((k, v));
+        }
+    }
+}

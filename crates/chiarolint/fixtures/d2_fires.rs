@@ -1,0 +1,21 @@
+// Fixture: D2 must fire on every iteration form over a hash collection
+// (scanned under a protocol-crate path by the test harness).
+use std::collections::{HashMap, HashSet};
+
+fn violate(extra: &HashMap<u32, u64>) {
+    let mut table: HashMap<u32, u64> = HashMap::new();
+    let mut members = HashSet::new();
+    members.insert(1u32);
+    for (k, v) in table.iter() {                 // line 9: .iter()
+        drop((k, v));
+    }
+    let keys: Vec<u32> = table.keys().copied().collect(); // line 12: .keys()
+    for peer in &members {                       // line 13: for .. in
+        drop(peer);
+    }
+    table.retain(|_, v| *v > 0);                 // line 16: .retain()
+    for (k, v) in extra.iter() {                 // line 17: param binding
+        drop((k, v));
+    }
+    drop(keys);
+}

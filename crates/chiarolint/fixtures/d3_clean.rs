@@ -1,0 +1,15 @@
+// Fixture: the clean twin of d3_fires.rs — seeds routed through a named
+// mix helper pass, as does the body of a mixer itself.
+fn clean(seed: u64, node: u64, round: u64) {
+    let a = StdRng::seed_from_u64(mix(seed, node, round));
+    let b = stream_rng(seed, 3);
+    let c = run_rng(seed);
+    drop((a, b, c));
+}
+
+/// A mixer's own body may call seed_from_u64 directly: it IS the named
+/// helper the rule points everyone else at.
+fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    let z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(z)
+}

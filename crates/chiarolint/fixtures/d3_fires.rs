@@ -1,0 +1,11 @@
+// Fixture: D3 must fire on seed_from_u64 calls that bypass the named
+// seed-mix helpers.
+fn violate(round: u64) {
+    let a = StdRng::seed_from_u64(42);                   // line 4: raw literal
+    let b = StdRng::seed_from_u64(0xC1A0_0007);          // line 5: raw literal
+    let c = StdRng::seed_from_u64(round ^ 0x9E37);       // line 6: hand-rolled mix
+    let d = StdRng::seed_from_u64(
+        round.wrapping_mul(3),                           // multi-line argument
+    );
+    drop((a, b, c, d));
+}

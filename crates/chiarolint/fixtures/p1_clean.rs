@@ -1,0 +1,23 @@
+// Fixture: the clean twin of p1_fires.rs — typed errors, infallible
+// byte-array indexing, non-panicking combinators, and a justified waiver
+// all pass in wire-facing code.
+fn clean(bytes: &[u8]) -> Result<u32, FrameError> {
+    if bytes.len() < 4 {
+        return Err(FrameError::Truncated { needed: 4, got: bytes.len() });
+    }
+    let value = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let fallback = bytes.first().copied().unwrap_or(0); // unwrap_or is fine
+    // chiarolint: allow(P1) -- length checked four lines up; indexing is
+    // infallible here and the waiver documents why.
+    let checked: [u8; 4] = bytes[0..4].try_into().unwrap();
+    drop(checked);
+    Ok(value + fallback as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: assertions may unwrap.
+    fn test_only(r: Result<u32, ()>) {
+        let _ = r.unwrap();
+    }
+}

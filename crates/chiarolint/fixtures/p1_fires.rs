@@ -1,0 +1,11 @@
+// Fixture: P1 must fire on panicking result-handling in wire-facing code
+// (scanned under a wire path by the test harness).
+fn violate(bytes: &[u8]) -> u32 {
+    let header: [u8; 4] = bytes[0..4].try_into().unwrap();   // line 4: .unwrap()
+    let value = u32::from_be_bytes(header);
+    let parsed: u32 = std::str::from_utf8(bytes)
+        .expect("valid utf8")                                // line 7: .expect(
+        .parse()
+        .unwrap();                                           // line 9: .unwrap()
+    value + parsed
+}

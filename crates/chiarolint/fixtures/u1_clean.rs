@@ -1,0 +1,14 @@
+// Fixture: the clean twin of u1_fires.rs — a SAFETY comment within the
+// window covers the unsafe token(s) below it.
+struct Wrapper(*mut u8);
+
+// SAFETY: the wrapped pointer is only dereferenced at provably disjoint
+// offsets, so cross-thread access never aliases.
+unsafe impl Send for Wrapper {}
+
+fn clean(w: &Wrapper) {
+    // SAFETY: the caller guarantees w points at a live, exclusively
+    // owned byte.
+    let v = unsafe { *w.0 };
+    drop(v);
+}

@@ -1,0 +1,9 @@
+// Fixture: U1 must fire on unsafe without a SAFETY comment in reach.
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}          // line 4: undocumented unsafe impl
+
+fn violate(w: &Wrapper) {
+    let v = unsafe { *w.0 };             // line 7: undocumented unsafe block
+    drop(v);
+}

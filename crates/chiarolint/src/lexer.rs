@@ -1,0 +1,399 @@
+//! A minimal Rust lexer: splits a source file into per-line *code* and
+//! *comment* text, with string/char-literal contents stripped, and tags
+//! each line with its `#[cfg(test)]`-module membership and enclosing
+//! function name.
+//!
+//! This is deliberately not a parser.  It understands exactly the token
+//! classes the rules need to be sound against: line comments, nested
+//! block comments, string literals with escapes, raw (and byte) strings
+//! with arbitrary `#` fences, char literals vs lifetimes, and brace
+//! depth.  Anything else passes through verbatim as "code".
+
+/// One lexed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The original line, untouched (diagnostic snippets).
+    pub raw: String,
+    /// Code text: comments removed, literal contents blanked (the
+    /// delimiters remain, so `"x"` becomes `""`).
+    pub code: String,
+    /// Concatenated comment text of the line (both `//` and `/* */`).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)] mod { ... }` region.
+    pub in_test: bool,
+    /// Innermost named `fn` whose body contains this line.
+    pub enclosing_fn: Option<String>,
+}
+
+/// A lexed file: the per-line views the rules scan.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The file's lines, 0-indexed (diagnostics are 1-based).
+    pub lines: Vec<Line>,
+}
+
+/// Lexes a whole source file.  Never fails: unterminated literals or
+/// comments simply run to end-of-file, which is what rustc would reject
+/// anyway.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = State::Normal;
+
+    let mut i = 0usize;
+    let flush =
+        |lines: &mut Vec<Line>, raw: &mut String, code: &mut String, comment: &mut String| {
+            lines.push(Line {
+                raw: std::mem::take(raw),
+                code: std::mem::take(code),
+                comment: std::mem::take(comment),
+                in_test: false,
+                enclosing_fn: None,
+            });
+        };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            flush(&mut lines, &mut raw, &mut code, &mut comment);
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    raw.push('/');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    raw.push('*');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some(hashes) = raw_string_fence(&chars, i) {
+                        // Consume the prefix up to and including the `"`.
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            raw.push('r');
+                            j += 1;
+                        }
+                        for _ in 0..hashes {
+                            raw.push('#');
+                            j += 1;
+                        }
+                        raw.push('"');
+                        j += 1;
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j;
+                        continue;
+                    }
+                    if c == 'b' && next == Some('\'') {
+                        raw.push('\'');
+                        code.push('\'');
+                        state = State::Char;
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal iff it closes within two chars or opens
+                    // an escape; otherwise it is a lifetime.
+                    let is_char = matches!(next, Some('\\'))
+                        || chars.get(i + 2).copied() == Some('\'');
+                    if is_char {
+                        code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    raw.push('*');
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    raw.push('/');
+                    if depth == 1 {
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        comment.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (which may be a quote).
+                    if let Some(&esc) = chars.get(i + 1) {
+                        if esc != '\n' {
+                            raw.push(esc);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for k in 0..hashes {
+                        if let Some(&h) = chars.get(i + 1 + k) {
+                            raw.push(h);
+                        }
+                    }
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    if let Some(&esc) = chars.get(i + 1) {
+                        raw.push(esc);
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        flush(&mut lines, &mut raw, &mut code, &mut comment);
+    }
+
+    let mut file = LexedFile { lines };
+    annotate_regions(&mut file);
+    file
+}
+
+/// Whether the char before `i` is part of an identifier (rules out raw
+/// strings detection inside identifiers like `var"`, which cannot occur,
+/// but also `_b"..."` style false positives).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If a raw-string fence starts at `i` (`r`/`br` + `#`* + `"`), its hash
+/// count.
+fn raw_string_fence(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if chars.get(i) == Some(&'b') {
+        if chars.get(j) == Some(&'r') {
+            j += 1;
+        } else if chars.get(j) == Some(&'"') {
+            // Plain byte string `b"..."`: fence of zero hashes, but with
+            // ordinary escape rules — close enough to treat as raw-less.
+            return None;
+        } else {
+            return None;
+        }
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"') && (hashes > 0 || chars.get(i) != Some(&'b'))).then_some(hashes)
+}
+
+/// Whether the `"` at `i` closes a raw string with `hashes` fence chars.
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// Second pass: brace-depth tracking for `#[cfg(test)]` regions and
+/// enclosing-`fn` names.
+fn annotate_regions(file: &mut LexedFile) {
+    let mut depth = 0usize;
+    // Open regions as (depth-after-opening-brace) stacks.
+    let mut test_regions: Vec<usize> = Vec::new();
+    let mut fn_stack: Vec<(usize, String)> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_fn: Option<String> = None;
+
+    for line in &mut file.lines {
+        line.in_test = !test_regions.is_empty();
+        line.enclosing_fn = fn_stack.last().map(|(_, name)| name.clone());
+
+        let squashed: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if squashed.contains("#[cfg(test)]") || squashed.contains("#[cfg(all(test") {
+            pending_test = true;
+        }
+        if let Some(name) = fn_name(&line.code) {
+            pending_fn = Some(name);
+        }
+
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test {
+                        test_regions.push(depth);
+                        pending_test = false;
+                    }
+                    if let Some(name) = pending_fn.take() {
+                        fn_stack.push((depth, name));
+                        // The line that *opens* the fn body already counts
+                        // as inside it (single-line fns).
+                        line.enclosing_fn = Some(fn_stack[fn_stack.len() - 1].1.clone());
+                    }
+                }
+                '}' => {
+                    if test_regions.last() == Some(&depth) {
+                        test_regions.pop();
+                    }
+                    if fn_stack.last().map(|(d, _)| *d) == Some(depth) {
+                        fn_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // A trait-method signature ends without a body.
+                ';' => {
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+        }
+        if !line.in_test && !test_regions.is_empty() {
+            // A region opened on this very line covers it too.
+            line.in_test = true;
+        }
+    }
+}
+
+/// The name following a `fn` keyword on this code line, if any.
+fn fn_name(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("fn") {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false);
+        let after = &code[at + 2..];
+        if before_ok && after.starts_with(char::is_whitespace) {
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        from = at + 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped_from_code() {
+        let file = lex("let x = \"Instant::now\"; // Instant::now\n/* SystemTime */ let y = 1;\n");
+        assert_eq!(file.lines[0].code, "let x = \"\"; ");
+        assert!(file.lines[0].comment.contains("Instant::now"));
+        assert_eq!(file.lines[1].code.trim(), "let y = 1;");
+        assert!(file.lines[1].comment.contains("SystemTime"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_stripped() {
+        let file = lex("let s = r#\"thread_rng()\"#;\nlet c = 'x';\nlet l: &'static str = \"\";\n");
+        assert_eq!(file.lines[0].code, "let s = \"\";");
+        assert_eq!(file.lines[1].code, "let c = '';");
+        assert!(file.lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let file = lex("/* outer /* inner */ still comment */ let z = 2;\n");
+        assert_eq!(file.lines[0].code.trim(), "let z = 2;");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let file = lex(src);
+        assert!(!file.lines[0].in_test);
+        assert!(file.lines[3].in_test, "inside the test mod");
+        assert!(!file.lines[5].in_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn enclosing_fn_names_are_tracked() {
+        let src = "fn stream_rng(seed: u64) -> StdRng {\n    StdRng::seed_from_u64(z)\n}\nfn other() {\n    call();\n}\n";
+        let file = lex(src);
+        assert_eq!(file.lines[1].enclosing_fn.as_deref(), Some("stream_rng"));
+        assert_eq!(file.lines[4].enclosing_fn.as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn trait_signatures_do_not_leak_fn_names() {
+        let src = "trait T {\n    fn sig(&self);\n}\nstruct S { f: u32 }\nimpl S {\n    fn real(&self) {\n        body();\n    }\n}\n";
+        let file = lex(src);
+        assert_eq!(file.lines[3].enclosing_fn, None, "struct line is not inside sig()");
+        assert_eq!(file.lines[6].enclosing_fn.as_deref(), Some("real"));
+    }
+}

@@ -1,0 +1,750 @@
+//! The workspace contract linter: a token-level static-analysis pass that
+//! mechanically enforces the determinism, unsafe-safety and panic-policy
+//! contracts of `docs/ARCHITECTURE.md` (see the "Enforced contracts"
+//! section there for the rule ↔ contract map).
+//!
+//! # Rules
+//!
+//! * **D1** — no wall-clock or OS entropy (`Instant::now`, `SystemTime`,
+//!   `thread_rng`, `from_entropy`) outside the crates the policy manifest
+//!   allows (the bench harness measures wall-clock on purpose).  A stray
+//!   `Instant::now` in a protocol path silently couples outputs to host
+//!   speed; a `thread_rng` breaks seed-reproducibility outright.
+//! * **D2** — no iteration over `HashMap`/`HashSet` in protocol crates.
+//!   Keyed lookup is fine (and fast); iteration order is
+//!   randomized-per-process, so any protocol loop over it is a
+//!   nondeterminism source.  Iteration must go through `BTreeMap`/
+//!   `BTreeSet` or a sorted projection.
+//! * **D3** — every `StdRng::seed_from_u64` call site in protocol code
+//!   must reference a *named seed-mix helper* (the manifest's
+//!   `seed_mixers` list).  Raw literal or hand-rolled seeds make RNG
+//!   streams collide and make the stream derivation unauditable.
+//! * **U1** — every `unsafe` token carries a `// SAFETY:` comment within
+//!   the preceding [`SAFETY_COMMENT_WINDOW`] lines, and crates whose
+//!   `src/` contains no unsafe at all must pin that with
+//!   `#![forbid(unsafe_code)]` (crates with unsafe must carry
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`).
+//! * **P1** — no `unwrap()`/`expect()` in wire-facing code (the
+//!   manifest's `wire_paths`): bytes from a peer must surface as typed
+//!   errors, never as panics.
+//!
+//! # Allow annotations
+//!
+//! Any diagnostic can be waived *with a reason* at the violating line (or
+//! on a comment line directly above it):
+//!
+//! ```text
+//! // chiarolint: allow(D1) -- wall-clock budget assertion in an ignored e2e test
+//! ```
+//!
+//! An annotation without a ` -- reason` is itself a diagnostic (`ANN`):
+//! the waiver's justification is the whole point.
+//!
+//! # Mechanics and limits
+//!
+//! The scanner is token-level by design (the workspace has a shims-only
+//! dependency policy, so no `syn`): a small lexer strips comments and
+//! string/char-literal contents, tracks `#[cfg(test)]` module regions and
+//! enclosing `fn` names by brace depth, and the rules match
+//! identifier-boundary tokens over the stripped code.  D2 tracks
+//! hash-typed bindings flow-insensitively within one file — an alias
+//! returned from a function is out of reach, which is the usual trade of
+//! a mechanical lint; the fixture suite in `tests/` pins exactly what
+//! fires and what does not.
+
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod policy;
+
+pub use lexer::{lex, LexedFile, Line};
+pub use policy::Policy;
+
+/// How many lines above an `unsafe` token the `// SAFETY:` comment may
+/// sit (consecutive unsafe blocks legitimately share one comment).
+pub const SAFETY_COMMENT_WINDOW: usize = 5;
+
+/// The enforced rules.  `Ann` is the meta-rule for malformed allow
+/// annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No wall-clock / OS entropy outside allowed crates.
+    D1,
+    /// No `HashMap`/`HashSet` iteration in protocol crates.
+    D2,
+    /// `seed_from_u64` must go through a named seed-mix helper.
+    D3,
+    /// `unsafe` needs a `// SAFETY:` comment; clean crates need
+    /// `#![forbid(unsafe_code)]`.
+    U1,
+    /// No `unwrap`/`expect` in wire-facing code.
+    P1,
+    /// A `chiarolint: allow(...)` annotation without a reason.
+    Ann,
+}
+
+impl Rule {
+    /// Parses a rule name as written in an allow annotation.
+    pub fn parse(name: &str) -> Option<Rule> {
+        match name.trim() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "U1" => Some(Rule::U1),
+            "P1" => Some(Rule::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::U1 => "U1",
+            Rule::P1 => "P1",
+            Rule::Ann => "ANN",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One finding: a rule violated at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line — also the line-number-free baseline key.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// The baseline key: stable under unrelated line-number drift.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.file, self.snippet)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// True at byte offset `at` (start of `pat`) iff `pat` occurs in `code`
+/// delimited by non-identifier characters on both sides.
+fn token_at(code: &str, at: usize, pat: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    if at > 0 {
+        if let Some(prev) = code[..at].chars().next_back() {
+            if is_ident(prev) {
+                return false;
+            }
+        }
+    }
+    !matches!(code[at + pat.len()..].chars().next(), Some(next) if is_ident(next))
+}
+
+/// Byte offsets of every identifier-boundary occurrence of `pat`.
+fn find_tokens(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let at = from + pos;
+        if token_at(code, at, pat) {
+            out.push(at);
+        }
+        from = at + pat.len();
+    }
+    out
+}
+
+/// Whether `pat` occurs anywhere in `code` as a boundary-delimited token.
+fn has_token(code: &str, pat: &str) -> bool {
+    !find_tokens(code, pat).is_empty()
+}
+
+/// Per-line allow sets parsed from `chiarolint: allow(...)` annotations,
+/// plus any malformed-annotation diagnostics.
+struct Allows {
+    by_line: BTreeMap<usize, BTreeSet<Rule>>,
+    malformed: Vec<(usize, String)>,
+}
+
+/// Parses every annotation in the file.  A trailing annotation applies to
+/// its own line; an annotation on a comment-only line applies to the next
+/// line that carries code.
+fn collect_allows(file: &LexedFile) -> Allows {
+    let mut by_line: BTreeMap<usize, BTreeSet<Rule>> = BTreeMap::new();
+    let mut malformed = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // An annotation is a comment that *starts* with `chiarolint:`
+        // (mid-sentence mentions in prose/doc comments don't count).
+        let comment = line.comment.trim_start();
+        let Some(rest) = comment.strip_prefix("chiarolint:") else { continue };
+        let rest = rest.trim_start();
+        let parsed = parse_allow(rest);
+        let lineno = idx + 1;
+        match parsed {
+            Err(why) => malformed.push((lineno, why)),
+            Ok(rules) => {
+                // Attach to this line if it carries code, else to the next
+                // line that does.
+                let mut target = idx;
+                if line.code.trim().is_empty() {
+                    for (j, later) in file.lines.iter().enumerate().skip(idx + 1) {
+                        if !later.code.trim().is_empty() {
+                            target = j;
+                            break;
+                        }
+                    }
+                }
+                by_line.entry(target + 1).or_default().extend(rules);
+            }
+        }
+    }
+    Allows { by_line, malformed }
+}
+
+/// Parses the `allow(R1, R2) -- reason` tail of an annotation.
+fn parse_allow(rest: &str) -> Result<Vec<Rule>, String> {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err(format!("expected `allow(<rule>) -- <reason>`, got `{rest}`"));
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unclosed `allow(` annotation".to_string());
+    };
+    let mut rules = Vec::new();
+    for name in inner[..close].split(',') {
+        match Rule::parse(name) {
+            Some(rule) => rules.push(rule),
+            None => return Err(format!("unknown rule `{}` in allow annotation", name.trim())),
+        }
+    }
+    let tail = inner[close + 1..].trim_start();
+    let reason_ok = tail
+        .strip_prefix("--")
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    if !reason_ok {
+        return Err("allow annotation needs a ` -- <reason>` justification".to_string());
+    }
+    Ok(rules)
+}
+
+/// Scans one lexed file under the policy; `rel` decides crate context
+/// (protocol / wire / allowed paths).  The crate-level U1 attribute check
+/// lives in [`scan_workspace`], which sees whole crates.
+pub fn scan_lexed(rel: &str, file: &LexedFile, policy: &Policy) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let allows = collect_allows(file);
+    for (lineno, why) in &allows.malformed {
+        out.push(diag(rel, file, *lineno, Rule::Ann, why.clone()));
+    }
+
+    let in_test_file = policy.is_test_path(rel);
+    let lines = &file.lines;
+
+    // D1 — wall-clock / OS entropy, everywhere the policy doesn't allow.
+    if !policy.is_allowed(Rule::D1, rel) {
+        for (idx, line) in lines.iter().enumerate() {
+            for pat in ["Instant::now", "SystemTime", "thread_rng", "from_entropy"] {
+                if has_token(&line.code, pat) {
+                    out.push(diag(
+                        rel,
+                        file,
+                        idx + 1,
+                        Rule::D1,
+                        format!(
+                            "wall-clock/OS entropy source `{pat}` (determinism contract: \
+                             simulated time and seeded RNG only)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // D2 — hash-collection iteration in protocol crates (non-test code).
+    if policy.is_protocol_path(rel) && !policy.is_allowed(Rule::D2, rel) {
+        scan_d2(rel, file, in_test_file, &mut out);
+    }
+
+    // D3 — seed derivation through named mixers (non-test code).
+    if !policy.is_allowed(Rule::D3, rel) {
+        scan_d3(rel, file, policy, in_test_file, &mut out);
+    }
+
+    // U1 — per-site SAFETY comments (test code included: an unjustified
+    // unsafe in a test is still an unjustified unsafe).
+    if !policy.is_allowed(Rule::U1, rel) {
+        for (idx, line) in lines.iter().enumerate() {
+            for _ in find_tokens(&line.code, "unsafe") {
+                let lo = idx.saturating_sub(SAFETY_COMMENT_WINDOW);
+                let documented =
+                    lines[lo..=idx].iter().any(|l| l.comment.contains("SAFETY:"));
+                if !documented {
+                    out.push(diag(
+                        rel,
+                        file,
+                        idx + 1,
+                        Rule::U1,
+                        format!(
+                            "`unsafe` without a `// SAFETY:` comment within the \
+                             {SAFETY_COMMENT_WINDOW} preceding lines"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // P1 — panics in wire-facing code (non-test code).
+    if policy.is_wire_path(rel) && !policy.is_allowed(Rule::P1, rel) {
+        for (idx, line) in lines.iter().enumerate() {
+            if in_test_file || line.in_test {
+                continue;
+            }
+            for pat in ["unwrap", "expect"] {
+                for at in find_tokens(&line.code, pat) {
+                    // Only the nullary-panic forms: `.unwrap()` / `.expect(`,
+                    // not `unwrap_or`, `expect_err` (boundary-checked) or a
+                    // stray identifier.
+                    let preceded_by_dot = line.code[..at].trim_end().ends_with('.');
+                    let followed_by_call = line.code[at + pat.len()..].trim_start().starts_with('(');
+                    if preceded_by_dot && followed_by_call {
+                        out.push(diag(
+                            rel,
+                            file,
+                            idx + 1,
+                            Rule::P1,
+                            format!(
+                                "`.{pat}(...)` in wire-facing code: peer bytes must \
+                                 surface as typed errors, never panics"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Apply allow annotations (the ANN meta-rule cannot be waived).
+    out.retain(|d| {
+        d.rule == Rule::Ann
+            || !allows.by_line.get(&d.line).map(|set| set.contains(&d.rule)).unwrap_or(false)
+    });
+    out.sort();
+    out
+}
+
+/// Builds a diagnostic with the source snippet attached.
+fn diag(rel: &str, file: &LexedFile, lineno: usize, rule: Rule, message: String) -> Diagnostic {
+    let snippet = file
+        .lines
+        .get(lineno - 1)
+        .map(|l| l.raw.trim().to_string())
+        .unwrap_or_default();
+    Diagnostic { file: rel.to_string(), line: lineno, rule, message, snippet }
+}
+
+/// Iteration-indicating methods on hash collections.
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// D2: collect identifiers bound to `HashMap`/`HashSet` in this file,
+/// then flag iteration over them.
+fn scan_d2(rel: &str, file: &LexedFile, in_test_file: bool, out: &mut Vec<Diagnostic>) {
+    let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+    for line in &file.lines {
+        if in_test_file || line.in_test {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for at in find_tokens(&line.code, ty) {
+                if let Some(ident) = binding_ident(&line.code, at) {
+                    hash_idents.insert(ident);
+                }
+            }
+        }
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if in_test_file || line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for ident in &hash_idents {
+            // `ident.iter()` -form iteration.
+            for at in find_tokens(code, ident) {
+                let after = code[at + ident.len()..].trim_start();
+                let Some(method_part) = after.strip_prefix('.') else { continue };
+                let method_part = method_part.trim_start();
+                for m in HASH_ITER_METHODS {
+                    if method_part.starts_with(m)
+                        && method_part[m.len()..].trim_start().starts_with('(')
+                        && token_at(method_part, 0, m)
+                    {
+                        out.push(diag(
+                            rel,
+                            file,
+                            idx + 1,
+                            Rule::D2,
+                            format!(
+                                "iteration over unordered hash collection `{ident}` \
+                                 (`.{m}()`): use BTreeMap/BTreeSet or a sorted projection"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // `for x in &ident`-form iteration.
+            if let Some(for_at) = find_tokens(code, "for").first() {
+                if let Some(in_rel) = code[*for_at..].find(" in ") {
+                    let tail = &code[*for_at + in_rel + 4..];
+                    if has_token(tail, ident) {
+                        out.push(diag(
+                            rel,
+                            file,
+                            idx + 1,
+                            Rule::D2,
+                            format!(
+                                "`for` loop over unordered hash collection `{ident}`: \
+                                 use BTreeMap/BTreeSet or a sorted projection"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the identifier a `HashMap`/`HashSet` occurrence at `at` is
+/// bound to, if the line is a recognizable binding (`let x =`,
+/// `let x:`, a `field:`/`param:` declaration).
+fn binding_ident(code: &str, at: usize) -> Option<String> {
+    let before = code[..at].trim_end();
+    // Strip a qualifying path / reference between the binder and the type.
+    let before = before
+        .trim_end_matches("std::collections::")
+        .trim_end_matches("collections::")
+        .trim_end()
+        .trim_end_matches("&mut")
+        .trim_end_matches('&')
+        .trim_end();
+    let trimmed = code.trim_start();
+    if let Some(after_let) = trimmed.strip_prefix("let ") {
+        // `let [mut] IDENT ...` — the binder is the first identifier.
+        let rest = after_let.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let ident: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        return (!ident.is_empty()).then_some(ident);
+    }
+    // `IDENT: [&[mut]] HashMap<...>` — field or parameter declaration.
+    let rest = before.strip_suffix(':')?.trim_end();
+    let ident: String = rest
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().unwrap_or('0').is_numeric()).then_some(ident)
+}
+
+/// D3: every `seed_from_u64` call must reference a named mixer in its
+/// argument or sit inside one.
+fn scan_d3(
+    rel: &str,
+    file: &LexedFile,
+    policy: &Policy,
+    in_test_file: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if in_test_file || line.in_test {
+            continue;
+        }
+        for at in find_tokens(&line.code, "seed_from_u64") {
+            let arg = call_argument(file, idx, at + "seed_from_u64".len());
+            let mixed = policy.seed_mixers.iter().any(|m| has_token(&arg, m));
+            let inside_mixer = line
+                .enclosing_fn
+                .as_ref()
+                .map(|f| policy.seed_mixers.iter().any(|m| m == f))
+                .unwrap_or(false);
+            if mixed || inside_mixer {
+                continue;
+            }
+            let literal = !arg.is_empty()
+                && arg.chars().all(|c| {
+                    c.is_ascii_hexdigit() || matches!(c, '_' | 'x' | 'o' | 'b' | 'u' | '(' | ')' | ' ')
+                });
+            let what = if literal {
+                "raw literal seed".to_string()
+            } else {
+                format!("seed expression `{}`", arg.trim())
+            };
+            out.push(diag(
+                rel,
+                file,
+                idx + 1,
+                Rule::D3,
+                format!(
+                    "{what} not derived via a named seed-mix helper (approved: {})",
+                    policy.seed_mixers.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// The argument text of a call whose name ends at `after` on line `idx`,
+/// concatenated across lines until the parentheses balance.
+fn call_argument(file: &LexedFile, idx: usize, after: usize) -> String {
+    let mut depth = 0usize;
+    let mut started = false;
+    let mut arg = String::new();
+    let mut offset = after;
+    for line in file.lines.iter().skip(idx) {
+        for c in line.code[offset.min(line.code.len())..].chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    started = true;
+                    if depth > 1 {
+                        arg.push(c);
+                    }
+                }
+                ')' => {
+                    if depth == 0 {
+                        return arg;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return arg;
+                    }
+                    arg.push(c);
+                }
+                _ if started && depth > 0 => arg.push(c),
+                _ if !started && !c.is_whitespace() => return arg,
+                _ => {}
+            }
+        }
+        arg.push(' ');
+        offset = 0;
+    }
+    arg
+}
+
+/// Everything [`scan_workspace`] found, plus which files it looked at.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All diagnostics, sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Repo-relative paths of every scanned file.
+    pub files: Vec<String>,
+}
+
+/// Walks `root` for `.rs` files (skipping `target/`, `.git/` and the
+/// policy's `exclude` prefixes), scans each under the policy, and runs
+/// the crate-level U1 attribute check.
+pub fn scan_workspace(root: &Path, policy: &Policy) -> io::Result<ScanReport> {
+    let mut files = Vec::new();
+    walk(root, root, policy, &mut files)?;
+    files.sort();
+
+    let mut report = ScanReport::default();
+    // crate src root -> (has_unsafe, lib.rs facts)
+    let mut crates: BTreeMap<String, CrateFacts> = BTreeMap::new();
+
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let lexed = lex(&source);
+        report.diagnostics.extend(scan_lexed(rel, &lexed, policy));
+
+        if let Some(crate_src) = crate_src_root(rel) {
+            let facts = crates.entry(crate_src.to_string()).or_default();
+            let has_unsafe = lexed.lines.iter().any(|l| has_token(&l.code, "unsafe"));
+            facts.has_unsafe |= has_unsafe;
+            if rel == &format!("{crate_src}/lib.rs") {
+                let squashed: String = lexed
+                    .lines
+                    .iter()
+                    .flat_map(|l| l.code.chars())
+                    .filter(|c| !c.is_whitespace())
+                    .collect();
+                facts.lib = Some(LibFacts {
+                    forbids_unsafe: squashed.contains("#![forbid(unsafe_code)]"),
+                    denies_unsafe_op: squashed.contains("#![deny(unsafe_op_in_unsafe_fn)]"),
+                });
+            }
+        }
+        report.files.push(rel.clone());
+    }
+
+    for (crate_src, facts) in &crates {
+        let Some(lib) = &facts.lib else { continue };
+        let lib_path = format!("{crate_src}/lib.rs");
+        if policy.is_allowed(Rule::U1, &lib_path) {
+            continue;
+        }
+        if !facts.has_unsafe && !lib.forbids_unsafe {
+            report.diagnostics.push(Diagnostic {
+                file: lib_path,
+                line: 1,
+                rule: Rule::U1,
+                message: "crate has no unsafe code: pin that with `#![forbid(unsafe_code)]`"
+                    .to_string(),
+                snippet: String::new(),
+            });
+        } else if facts.has_unsafe && !lib.denies_unsafe_op {
+            report.diagnostics.push(Diagnostic {
+                file: lib_path,
+                line: 1,
+                rule: Rule::U1,
+                message: "crate has unsafe code but lacks `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .to_string(),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+/// Per-crate facts feeding the U1 attribute check.
+#[derive(Debug, Default)]
+struct CrateFacts {
+    has_unsafe: bool,
+    lib: Option<LibFacts>,
+}
+
+#[derive(Debug)]
+struct LibFacts {
+    forbids_unsafe: bool,
+    denies_unsafe_op: bool,
+}
+
+/// The `src/` root of the crate owning `rel`, when `rel` is a lib-target
+/// source file (`crates/x/src/...`, `shims/x/src/...`, or the facade's
+/// `src/...`).  Tests/benches/examples are separate compilation units, so
+/// they do not count against the lib attribute.
+fn crate_src_root(rel: &str) -> Option<&str> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["src", ..] => Some("src"),
+        [top, _name, "src", ..] if *top == "crates" || *top == "shims" => {
+            Some(&rel[..rel.find("/src/").unwrap_or(0) + 4])
+        }
+        _ => None,
+    }
+}
+
+/// Recursive walk collecting repo-relative `.rs` paths.
+fn walk(root: &Path, dir: &Path, policy: &Policy, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .ok()
+            .and_then(|p| p.to_str())
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_default();
+        if policy.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, policy, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_respect_identifier_boundaries() {
+        assert!(has_token("let x = thread_rng();", "thread_rng"));
+        assert!(!has_token("let my_thread_rng2 = 1;", "thread_rng"));
+        assert!(has_token("std::time::Instant::now()", "Instant::now"));
+    }
+
+    #[test]
+    fn allow_annotations_need_reasons() {
+        assert!(parse_allow("allow(D1) -- budget assert").is_ok());
+        assert_eq!(parse_allow("allow(D1,P1) -- two rules").unwrap().len(), 2);
+        assert!(parse_allow("allow(D1)").is_err());
+        assert!(parse_allow("allow(D1) --   ").is_err());
+        assert!(parse_allow("allow(Q9) -- nope").is_err());
+    }
+
+    #[test]
+    fn binding_ident_recognizes_lets_fields_and_params() {
+        let line = "let mut seen = std::collections::HashSet::new();";
+        let at = line.find("HashSet").unwrap();
+        assert_eq!(binding_ident(line, at).as_deref(), Some("seen"));
+
+        let line = "    downtime: HashMap<u32, Vec<(f64, f64)>>,";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(binding_ident(line, at).as_deref(), Some("downtime"));
+
+        let line = "fn online_at(downtime: &HashMap<u32, Vec<(f64, f64)>>, t: f64) -> bool {";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(binding_ident(line, at).as_deref(), Some("downtime"));
+
+        // A bare mention in a path position binds nothing.
+        let line = "use std::collections::HashMap;";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(binding_ident(line, at), None);
+    }
+
+    #[test]
+    fn crate_src_roots() {
+        assert_eq!(crate_src_root("crates/gossip/src/sim/shard.rs"), Some("crates/gossip/src"));
+        assert_eq!(crate_src_root("shims/rand/src/lib.rs"), Some("shims/rand/src"));
+        assert_eq!(crate_src_root("src/lib.rs"), Some("src"));
+        assert_eq!(crate_src_root("crates/core/tests/actor_parity.rs"), None);
+        assert_eq!(crate_src_root("tests/scenario_matrix.rs"), None);
+        assert_eq!(crate_src_root("examples/quickstart.rs"), None);
+    }
+}

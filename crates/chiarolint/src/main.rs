@@ -1,0 +1,155 @@
+//! `chiarolint` — the workspace contract linter.
+//!
+//! ```text
+//! chiarolint [--root DIR] [--manifest FILE] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Scans every `.rs` file under `--root` (default: the current directory)
+//! against the policy manifest (default: `<root>/chiarolint.toml`), prints
+//! `file:line: RULE: message` diagnostics, and exits nonzero if any
+//! remain.  `--baseline` suppresses previously recorded findings for
+//! incremental adoption; `--write-baseline` records the current findings.
+//! There is deliberately no `--fix`: every waiver is a reviewed
+//! annotation, not a mechanical rewrite.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use chiarolint::{scan_workspace, Policy};
+
+struct Args {
+    root: PathBuf,
+    manifest: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        manifest: None,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "chiarolint [--root DIR] [--manifest FILE] [--baseline FILE] \
+                     [--write-baseline FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let manifest_path = args
+        .manifest
+        .clone()
+        .unwrap_or_else(|| args.root.join("chiarolint.toml"));
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read manifest {}: {e}", manifest_path.display()))?;
+    let policy = Policy::parse(&manifest)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+
+    let report = scan_workspace(&args.root, &policy)
+        .map_err(|e| format!("scan failed: {e}"))?;
+
+    if let Some(path) = &args.write_baseline {
+        let mut text = String::from(
+            "# chiarolint baseline: one `rule|file|snippet` key per suppressed finding.\n",
+        );
+        for d in &report.diagnostics {
+            text.push_str(&d.baseline_key());
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))?;
+        eprintln!(
+            "chiarolint: wrote baseline with {} finding(s) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Baseline suppression is a multiset: two identical violations need
+    // two baseline entries, so new copies of an old sin still fail.
+    let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *budget.entry(line.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    let mut shown = 0usize;
+    let mut suppressed = 0usize;
+    for d in &report.diagnostics {
+        match budget.get_mut(&d.baseline_key()) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                suppressed += 1;
+            }
+            _ => {
+                println!("{d}");
+                shown += 1;
+            }
+        }
+    }
+
+    if shown == 0 {
+        eprintln!(
+            "chiarolint: {} file(s) clean{}",
+            report.files.len(),
+            if suppressed > 0 {
+                format!(" ({suppressed} baseline-suppressed)")
+            } else {
+                String::new()
+            }
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "chiarolint: {shown} violation(s) across {} file(s){}",
+            report.files.len(),
+            if suppressed > 0 {
+                format!(" ({suppressed} baseline-suppressed)")
+            } else {
+                String::new()
+            }
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("chiarolint: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

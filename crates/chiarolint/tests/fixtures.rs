@@ -1,0 +1,119 @@
+//! The rule self-test suite: every rule fires on its violating fixture
+//! and stays silent on the clean twin.  The fixtures live under
+//! `fixtures/` (excluded from workspace scans by the real manifest); each
+//! scan passes a *pretend* repo-relative path so the test — not the disk
+//! layout — decides whether the file counts as protocol/wire code.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use chiarolint::{lex, scan_lexed, Policy};
+
+fn policy() -> Policy {
+    Policy::parse(
+        r#"
+[chiarolint]
+protocol_crates = ["crates/crypto", "crates/gossip", "crates/core", "crates/node"]
+wire_paths = ["crates/node/src"]
+seed_mixers = ["mix", "stream_rng", "run_rng", "device_streams"]
+"#,
+    )
+    .expect("harness manifest parses")
+}
+
+/// Scans a fixture under a pretend path, returning `(rule, line)` pairs.
+fn scan_fixture(name: &str, pretend: &str) -> BTreeSet<(String, usize)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    scan_lexed(pretend, &lex(&source), &policy())
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+fn expect(pairs: &[(&str, usize)]) -> BTreeSet<(String, usize)> {
+    pairs.iter().map(|(r, l)| (r.to_string(), *l)).collect()
+}
+
+#[test]
+fn d1_fires_on_every_entropy_source() {
+    let got = scan_fixture("d1_fires.rs", "crates/core/src/fixture.rs");
+    assert_eq!(got, expect(&[("D1", 3), ("D1", 4), ("D1", 5), ("D1", 6)]));
+}
+
+#[test]
+fn d1_clean_twin_passes() {
+    let got = scan_fixture("d1_clean.rs", "crates/core/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn d2_fires_on_every_iteration_form() {
+    let got = scan_fixture("d2_fires.rs", "crates/gossip/src/fixture.rs");
+    let lines: BTreeSet<usize> =
+        got.iter().map(|(r, l)| { assert_eq!(r, "D2"); *l }).collect();
+    assert_eq!(lines, BTreeSet::from([9, 12, 13, 16, 17]));
+}
+
+#[test]
+fn d2_clean_twin_passes() {
+    let got = scan_fixture("d2_clean.rs", "crates/gossip/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn d2_is_scoped_to_protocol_crates() {
+    // The same violating file outside a protocol crate is not D2's
+    // business (it may still be bad style — but not a protocol hazard).
+    let got = scan_fixture("d2_fires.rs", "crates/kmeans/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn d3_fires_on_unmixed_seeds() {
+    let got = scan_fixture("d3_fires.rs", "crates/core/src/fixture.rs");
+    assert_eq!(got, expect(&[("D3", 4), ("D3", 5), ("D3", 6), ("D3", 7)]));
+}
+
+#[test]
+fn d3_clean_twin_passes() {
+    let got = scan_fixture("d3_clean.rs", "crates/core/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn u1_fires_on_undocumented_unsafe() {
+    let got = scan_fixture("u1_fires.rs", "crates/gossip/src/fixture.rs");
+    assert_eq!(got, expect(&[("U1", 4), ("U1", 7)]));
+}
+
+#[test]
+fn u1_clean_twin_passes() {
+    let got = scan_fixture("u1_clean.rs", "crates/gossip/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn p1_fires_on_wire_path_panics() {
+    let got = scan_fixture("p1_fires.rs", "crates/node/src/fixture.rs");
+    assert_eq!(got, expect(&[("P1", 4), ("P1", 7), ("P1", 9)]));
+}
+
+#[test]
+fn p1_clean_twin_passes() {
+    let got = scan_fixture("p1_clean.rs", "crates/node/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn p1_is_scoped_to_wire_paths() {
+    let got = scan_fixture("p1_fires.rs", "crates/kmeans/src/fixture.rs");
+    assert_eq!(got, BTreeSet::new());
+}
+
+#[test]
+fn malformed_waivers_fire_ann_and_do_not_suppress() {
+    let got = scan_fixture("ann_fires.rs", "crates/core/src/fixture.rs");
+    assert_eq!(got, expect(&[("ANN", 4), ("ANN", 6), ("D1", 5), ("D1", 7)]));
+}

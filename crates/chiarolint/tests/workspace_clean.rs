@@ -1,0 +1,35 @@
+//! The meta-test: the live workspace must be chiarolint-clean under the
+//! real manifest, so a reintroduced violation fails `cargo test` even
+//! before the dedicated CI lane runs the binary.
+
+use std::path::Path;
+
+use chiarolint::{scan_workspace, Policy};
+
+#[test]
+fn live_workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let manifest_path = root.join("chiarolint.toml");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+    let policy = Policy::parse(&manifest).expect("manifest parses");
+
+    let report = scan_workspace(&root, &policy).expect("workspace scan succeeds");
+
+    assert!(
+        report.files.len() > 100,
+        "scan looked at only {} files — wrong root?",
+        report.files.len()
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has {} contract violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -28,8 +28,6 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use chiaroscuro_crypto::backend::CipherBackend;
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
@@ -370,25 +368,23 @@ impl<B: CipherBackend> ChiaroscuroNodeActor<B> {
     /// and encryption sub-streams from the participant seed, draw the noise
     /// shares, then encrypt the Diptych plus the noise vector (packed or
     /// legacy) under the encryption stream.
-    fn start_iteration(&mut self, inputs: IterationInputs) {
+    fn start_iteration(&mut self, inputs: &IterationInputs) {
         let p = self.provision.as_ref().expect("IterationStart before Hello");
         let (k, n) = (p.k, p.series_length);
         let centroids: Vec<TimeSeries> =
             inputs.centroids_flat.chunks_exact(n).map(|c| TimeSeries::new(c.to_vec())).collect();
         assert_eq!(centroids.len(), k, "IterationStart must carry k centroids");
 
-        let mut device_rng = StdRng::seed_from_u64(inputs.participant_seed);
-        let noise_seed: u64 = device_rng.gen();
-        let encryption_seed: u64 = device_rng.gen();
+        let mut streams = crate::seedmix::device_streams(inputs.participant_seed);
         let noise = NoiseShareVector::generate(
             k,
             n,
             inputs.sum_scale,
             inputs.count_scale,
             p.num_noise_shares,
-            &mut StdRng::seed_from_u64(noise_seed),
+            &mut streams.noise,
         );
-        let mut device_rng = StdRng::seed_from_u64(encryption_seed);
+        let mut device_rng = streams.encryption;
         let backend: &B = &p.backend;
         let flat: Vec<B::Unit> = if let Some(packer) = &p.packer {
             let (means, _assigned) =
@@ -563,7 +559,7 @@ impl<B: CipherBackend> Actor for ChiaroscuroNodeActor<B> {
             NodeEvent::IterationStart { payload } => {
                 let p = self.provision();
                 let inputs = IterationInputs::decode(&payload, p.k, p.series_length);
-                self.start_iteration(inputs);
+                self.start_iteration(&inputs);
                 Vec::new()
             }
             NodeEvent::InitiateExchange { phase, contact } => {

@@ -38,8 +38,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use chiaroscuro_crypto::backend::{BackendSetup, CipherBackend};
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
@@ -82,7 +81,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
     /// per-exchange message flow to relay), on transport I/O failure, and
     /// on non-Unix platforms when the socket transport is selected.
     pub fn via_actors(&self, seed: u64) -> RunOutcome {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = crate::seedmix::run_rng(seed);
         let population = self.data.len();
         match self.params.transport {
             TransportKind::InMemory => {
@@ -591,6 +590,8 @@ fn request_readout<T: Transport, B: CipherBackend>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use chiaroscuro_crypto::backend::DamgardJurik;
     use chiaroscuro_node::Actor;
     use chiaroscuro_timeseries::{TimeSeriesSet, ValueRange};

@@ -25,6 +25,7 @@
 //!   ever leaves a participant in cleartext (requirement R2);
 //! * [`cost_model`] — the per-iteration latency model of §6.3.2.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -38,6 +39,7 @@ pub mod evalue;
 pub mod noise;
 pub mod participant;
 pub mod runner;
+pub mod seedmix;
 pub mod surrogate;
 
 pub use actor::{ChiaroscuroNodeActor, MEANS_FRAME_OVERHEAD_BYTES};

@@ -103,8 +103,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use num_bigint::BigUint;
@@ -360,7 +359,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
 
     /// Executes the run with a seed-derived RNG.
     pub fn execute(&self, seed: u64) -> RunOutcome {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = crate::seedmix::run_rng(seed);
         self.execute_with_rng(&mut rng)
     }
 
@@ -456,18 +455,16 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             let packing_view = &packing;
             let backend_view: &B = &backend;
             let device = |i: usize, series: &TimeSeries| -> (usize, Vec<B::Unit>) {
-                let mut device_rng = StdRng::seed_from_u64(participant_seeds[i]);
-                let noise_seed: u64 = device_rng.gen();
-                let encryption_seed: u64 = device_rng.gen();
+                let mut streams = crate::seedmix::device_streams(participant_seeds[i]);
                 let noise = NoiseShareVector::generate(
                     k,
                     n,
                     sum_scale,
                     count_scale,
                     params.num_noise_shares,
-                    &mut StdRng::seed_from_u64(noise_seed),
+                    &mut streams.noise,
                 );
-                let mut device_rng = StdRng::seed_from_u64(encryption_seed);
+                let mut device_rng = streams.encryption;
                 if let Some(packer) = packing_view {
                     // Lane-packed contribution: ⌈k·(n+1)/L⌉ means units, as
                     // many noise-share units (same lane layout, so the

@@ -189,7 +189,9 @@ pub fn combine(
     if partials.len() < threshold {
         return Err(CombineError::NotEnoughShares { provided: partials.len(), required: threshold });
     }
-    let mut seen = std::collections::HashSet::new();
+    // BTreeSet, not HashSet: insert-only today, but protocol code must
+    // never be one `.iter()` away from randomized order (chiarolint D2).
+    let mut seen = std::collections::BTreeSet::new();
     for p in partials {
         if !seen.insert(p.share_index) {
             return Err(CombineError::DuplicateShare(p.share_index));

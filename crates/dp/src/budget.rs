@@ -68,10 +68,10 @@ impl BudgetSchedule {
         assert!(max_iterations > 0, "max_iterations must be positive");
         match strategy {
             BudgetStrategy::GreedyFloor { floor_size } => {
-                assert!(floor_size > 0, "floor_size must be positive")
+                assert!(floor_size > 0, "floor_size must be positive");
             }
             BudgetStrategy::UniformFast { max_iterations: m } => {
-                assert!(m > 0, "UNIFORM_FAST iteration limit must be positive")
+                assert!(m > 0, "UNIFORM_FAST iteration limit must be positive");
             }
             BudgetStrategy::Greedy => {}
         }

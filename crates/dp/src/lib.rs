@@ -17,6 +17,7 @@
 //!   (Definition 3), the per-aggregate δ_atom split, the Theorem-3 gossip
 //!   exchange calculator and the Lemma-2/3 approximation-error compensation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

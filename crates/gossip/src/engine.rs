@@ -91,6 +91,30 @@ pub trait ParallelProtocolStore<P>: ProtocolStore<P> + Send {
     fn apply_exchanges(&mut self, pool: &rayon::ThreadPool, protocol: &P, pairs: &[(u32, u32)]);
 }
 
+/// Debug-build re-check of the node-disjointness contract: every node
+/// index in a wavefront batch must appear at most once.  The release
+/// scheduler guarantees this by construction; this assert catches a
+/// future scheduler bug *before* the `SendPtr` writes turn it into
+/// undefined behaviour.  Runs on every batch (including the small ones
+/// the serial path takes), and compiles to nothing in release builds.
+#[inline]
+pub(crate) fn debug_assert_disjoint_pairs(pairs: &[(u32, u32)]) {
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(i, c) in pairs {
+            for node in [i, c] {
+                assert!(
+                    seen.insert(node),
+                    "exchange batch is not node-disjoint: node {node} appears twice"
+                );
+            }
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = pairs;
+}
+
 /// A raw pointer that may cross thread boundaries.  Safety rests on the
 /// node-disjointness contract of [`ParallelProtocolStore`]: concurrent
 /// closures only ever dereference disjoint offsets.
@@ -104,7 +128,13 @@ impl<T> Clone for SendPtr<T> {
 
 impl<T> Copy for SendPtr<T> {}
 
+// SAFETY: SendPtr is only handed to worker closures that dereference
+// node-disjoint offsets (the `ParallelProtocolStore` contract, re-checked
+// in debug builds by `debug_assert_disjoint_pairs`), so sending or
+// sharing the wrapper across threads never produces two live references
+// to the same node.  `T: Send` keeps the pointee itself movable.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared access is only ever to disjoint offsets.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<N, P> ParallelProtocolStore<P> for Vec<N>
@@ -117,6 +147,7 @@ where
         for &(i, c) in pairs {
             assert!(i != c && (i as usize) < len && (c as usize) < len, "bad exchange pair ({i}, {c})");
         }
+        debug_assert_disjoint_pairs(pairs);
         if pool.current_num_threads() <= 1 || pairs.len() < PARALLEL_EXCHANGE_THRESHOLD {
             for &(i, c) in pairs {
                 self.apply_exchange(protocol, i as usize, c as usize);
@@ -434,6 +465,27 @@ mod tests {
     fn pair_mut_rejects_equal_indices() {
         let mut v = vec![1, 2];
         pair_mut(&mut v, 1, 1);
+    }
+
+    /// Debug builds re-check the node-disjointness contract before any
+    /// `SendPtr` write: an overlapping batch must panic even on the small
+    /// serial path (release builds compile the check out entirely).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not node-disjoint")]
+    fn overlapping_exchange_batch_panics_in_debug() {
+        let mut nodes: Vec<u64> = vec![3, 1, 4, 1];
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        // Node 1 appears in two pairs of the same wavefront.
+        nodes.apply_exchanges(&pool, &MaxProtocol, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn disjoint_exchange_batch_passes_the_debug_check() {
+        let mut nodes: Vec<u64> = vec![3, 1, 4, 1];
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        nodes.apply_exchanges(&pool, &MaxProtocol, &[(0, 1), (2, 3)]);
+        assert_eq!(nodes, vec![3, 3, 4, 4]);
     }
 
     #[test]

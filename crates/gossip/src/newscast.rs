@@ -99,7 +99,10 @@ impl NewscastOverlay {
             let from = rng.gen_range(0..population);
             let target = rng.gen_range(0..population) as NodeId;
             let mut frontier = vec![from as NodeId];
-            let mut visited = std::collections::HashSet::new();
+            // BTreeSet, not HashSet: membership-only today, but protocol
+            // code must never be one `.iter()` away from randomized order
+            // (chiarolint D2).
+            let mut visited = std::collections::BTreeSet::new();
             visited.insert(from as NodeId);
             let mut found = from as NodeId == target;
             for _ in 0..max_hops {

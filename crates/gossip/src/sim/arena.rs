@@ -315,6 +315,7 @@ impl ParallelProtocolStore<EesSumProtocol> for EesUnitArena {
                 "bad exchange pair ({i}, {c})"
             );
         }
+        crate::engine::debug_assert_disjoint_pairs(pairs);
         if pool.current_num_threads() <= 1 || pairs.len() < PARALLEL_EXCHANGE_THRESHOLD {
             for &(i, c) in pairs {
                 self.apply_exchange(protocol, i as usize, c as usize);

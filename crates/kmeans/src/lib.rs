@@ -14,6 +14,7 @@
 //! computes exactly the same quantities; `chiaroscuro-core` therefore reuses
 //! this crate's iteration logic and reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

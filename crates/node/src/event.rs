@@ -173,7 +173,7 @@ impl NodeEvent {
                 }
                 Ok(NodeEvent::InitiateExchange {
                     phase: Phase::from_byte(payload[0])?,
-                    contact: NodeId::from_be_bytes(payload[1..5].try_into().expect("4 bytes")),
+                    contact: NodeId::from_be_bytes([payload[1], payload[2], payload[3], payload[4]]),
                 })
             }
             4 | 5 => {
@@ -221,26 +221,26 @@ impl NodeEvent {
 mod tests {
     use super::*;
 
-    fn round_trip(event: NodeEvent) {
+    fn round_trip(event: &NodeEvent) {
         let frame = event.clone().into_frame(3, 9);
         assert_eq!(frame.from, 3);
         assert_eq!(frame.to, 9);
         let decoded = NodeEvent::from_frame(&Frame::decode(&frame.encode()).unwrap()).unwrap();
-        assert_eq!(decoded, event);
+        assert_eq!(decoded, *event);
     }
 
     #[test]
     fn every_event_round_trips_through_the_codec() {
-        round_trip(NodeEvent::Hello { config: vec![9, 8, 7] });
-        round_trip(NodeEvent::IterationStart { payload: vec![1; 40] });
-        round_trip(NodeEvent::InitiateExchange { phase: Phase::Means, contact: 17 });
-        round_trip(NodeEvent::ExchangeRequest { phase: Phase::Counter, state: vec![5; 16] });
-        round_trip(NodeEvent::ExchangeReply { phase: Phase::Correction, state: Vec::new() });
-        round_trip(NodeEvent::CorrectionProposal { payload: vec![0xAB; 24] });
-        round_trip(NodeEvent::ReadoutRequest { include_units: true });
-        round_trip(NodeEvent::ReadoutRequest { include_units: false });
-        round_trip(NodeEvent::ReadoutReply { payload: vec![2; 8] });
-        round_trip(NodeEvent::Shutdown);
+        round_trip(&NodeEvent::Hello { config: vec![9, 8, 7] });
+        round_trip(&NodeEvent::IterationStart { payload: vec![1; 40] });
+        round_trip(&NodeEvent::InitiateExchange { phase: Phase::Means, contact: 17 });
+        round_trip(&NodeEvent::ExchangeRequest { phase: Phase::Counter, state: vec![5; 16] });
+        round_trip(&NodeEvent::ExchangeReply { phase: Phase::Correction, state: Vec::new() });
+        round_trip(&NodeEvent::CorrectionProposal { payload: vec![0xAB; 24] });
+        round_trip(&NodeEvent::ReadoutRequest { include_units: true });
+        round_trip(&NodeEvent::ReadoutRequest { include_units: false });
+        round_trip(&NodeEvent::ReadoutReply { payload: vec![2; 8] });
+        round_trip(&NodeEvent::Shutdown);
     }
 
     #[test]

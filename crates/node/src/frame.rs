@@ -150,23 +150,23 @@ impl Frame {
         }
         Ok(Frame {
             kind: header[6],
-            from: NodeId::from_be_bytes(header[8..12].try_into().expect("4 bytes")),
-            to: NodeId::from_be_bytes(header[12..16].try_into().expect("4 bytes")),
+            from: NodeId::from_be_bytes([header[8], header[9], header[10], header[11]]),
+            to: NodeId::from_be_bytes([header[12], header[13], header[14], header[15]]),
             payload: rest.to_vec(),
         })
     }
 
     /// Validates a fixed header and returns the declared payload length.
     fn parse_header(header: &[u8]) -> Result<u32, FrameError> {
-        let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
+        let magic = [header[0], header[1], header[2], header[3]];
         if magic != MAGIC {
             return Err(FrameError::BadMagic(magic));
         }
-        let version = u16::from_be_bytes(header[4..6].try_into().expect("2 bytes"));
+        let version = u16::from_be_bytes([header[4], header[5]]);
         if version != VERSION {
             return Err(FrameError::UnsupportedVersion(version));
         }
-        let declared = u32::from_be_bytes(header[16..20].try_into().expect("4 bytes"));
+        let declared = u32::from_be_bytes([header[16], header[17], header[18], header[19]]);
         if declared as usize > MAX_PAYLOAD_BYTES {
             return Err(FrameError::Oversized { declared, cap: MAX_PAYLOAD_BYTES });
         }
@@ -187,8 +187,8 @@ impl Frame {
         read_exact_or_truncated(reader, &mut payload, HEADER_BYTES + declared)?;
         Ok(Frame {
             kind: header[6],
-            from: NodeId::from_be_bytes(header[8..12].try_into().expect("4 bytes")),
-            to: NodeId::from_be_bytes(header[12..16].try_into().expect("4 bytes")),
+            from: NodeId::from_be_bytes([header[8], header[9], header[10], header[11]]),
+            to: NodeId::from_be_bytes([header[12], header[13], header[14], header[15]]),
             payload,
         })
     }

@@ -23,6 +23,7 @@
 //! substrate is centralised, mirroring how the PeerSim harness of the
 //! paper delivers messages).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

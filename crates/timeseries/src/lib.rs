@@ -19,6 +19,7 @@
 //! * [`stats`] — small statistics helpers shared by the generators and the
 //!   evaluation harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -8,6 +8,8 @@
 //! the mean time per iteration, which is enough to compare hot paths across
 //! commits until the real criterion can be vendored.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::Instant;
 
@@ -128,6 +130,8 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark parameterised by an input value.
+    // Upstream criterion takes the id by value; the shim mirrors its API.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: BenchmarkId,
@@ -138,7 +142,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, &mut |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }
@@ -221,7 +225,7 @@ mod tests {
         group.throughput(Throughput::Elements(1));
         group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         group.bench_with_input(BenchmarkId::new("mul", 7u32), &7u32, |b, &x| {
-            b.iter(|| black_box(x) * 2)
+            b.iter(|| black_box(x) * 2);
         });
         group.finish();
     }

@@ -12,6 +12,8 @@
 //! bits), so the quadratic algorithms are the right trade-off: no Karatsuba,
 //! no Montgomery, just carefully tested limb arithmetic.
 
+#![forbid(unsafe_code)]
+
 mod bigint;
 mod biguint;
 mod rand_support;

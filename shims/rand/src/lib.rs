@@ -16,6 +16,8 @@
 //! `StdRng` stream the seed code used — see the crypto crate's security
 //! caveat).
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of randomness.
 pub trait RngCore {
     /// Next 32 random bits.
@@ -34,7 +36,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -46,7 +48,7 @@ impl<R: RngCore + ?Sized> RngCore for Box<R> {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -181,7 +183,7 @@ pub trait Rng: RngCore {
 
     /// Fills a byte slice with random bytes.
     fn fill(&mut self, dest: &mut [u8]) {
-        self.fill_bytes(dest)
+        self.fill_bytes(dest);
     }
 }
 

@@ -13,6 +13,8 @@
 //! If the real serde is ever restored, the derives regain their meaning
 //! without touching any annotated type.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker stand-in for `serde::Serialize`.

@@ -49,6 +49,7 @@
 //! simulations skip the modular arithmetic without changing one decoded
 //! bit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -689,6 +689,8 @@ fn scenario_adversary_fault_counters_match_across_cipher_backends() {
 #[ignore = "release-mode scale smoke lane (CI runs it explicitly)"]
 fn scenario_scale_100k_surrogate_async() {
     use chiaroscuro::core::prelude::{AsyncNetworkConfig, LatencyModel};
+    // chiarolint: allow(D1) -- wall-clock budget assertion in an ignored
+    // release-mode smoke lane; protocol outputs never depend on it.
     let started = std::time::Instant::now();
     let scale_spec = ScenarioSpec {
         name: "scale-100k-surrogate",
@@ -785,6 +787,8 @@ fn scenario_scale_100k_surrogate_async() {
 #[ignore = "release-mode adversary smoke lane (CI runs it explicitly)"]
 fn scenario_adversary_release_e2e_2k_nodes() {
     use chiaroscuro::core::prelude::{AsyncNetworkConfig, LatencyModel};
+    // chiarolint: allow(D1) -- wall-clock budget assertion in an ignored
+    // release-mode smoke lane; protocol outputs never depend on it.
     let started = std::time::Instant::now();
     let spec = ScenarioSpec {
         name: "adversary-release-2k",
