@@ -1,15 +1,19 @@
-//! Ciphertext-count reduction and wall-clock speedup of lane packing.
+//! Ciphertext-count reduction and wall-clock speedup of lane packing,
+//! measured over both arithmetic paths.
 //!
 //! Runs the per-iteration vector pipeline — per-participant **encrypt**,
-//! homomorphic **sum** across the population, threshold **decrypt** —
-//! twice: once with the legacy one-ciphertext-per-coordinate encoding and
-//! once with the lane-packed encoding (`chiaroscuro_crypto::packing`),
-//! using the same contribution values.  It verifies the decoded sums are
-//! **bit-identical**, reports the ciphertext-operation counts and timings
-//! of each phase, and asserts the packed path performs at least 4× fewer
-//! ciphertext operations per iteration (the PR's acceptance bar; at the
-//! paper's 1024-bit key the lane factor is typically 6–8 with a gossip-
-//! grade doubling budget, and higher for shorter epidemics).
+//! homomorphic **sum** across the population, threshold **decrypt** — with
+//! the legacy one-ciphertext-per-coordinate encoding and with the
+//! lane-packed encoding (`chiaroscuro_crypto::packing`), and runs **each**
+//! pipeline twice: once over pure schoolbook arithmetic (the global bigint
+//! fast path disabled, no CRT context) and once over the Montgomery/CRT
+//! fast path.  All four decodes must be **bit-identical**.
+//!
+//! The report covers the ciphertext-operation counts (packing's own win,
+//! arithmetic-independent), the per-phase wall clock of each pipeline on
+//! each path, and two acceptance gates: packing must cut ciphertext
+//! operations by at least 4×, and at the paper's 1024-bit key the
+//! Montgomery/CRT path must cut total wall clock by at least 4×.
 //!
 //! The workload mirrors one runner iteration: every participant contributes
 //! a means vector of `k·(n+1)` coordinates plus a same-shape vector of
@@ -20,15 +24,17 @@
 //!   packing_speedup [--means 10] [--measures 6] [--population 8]
 //!                   [--key-bits 1024] [--exchanges 10] [--shares 8]
 //!                   [--threshold 3] [--seed 42]
+//!                   [--json-out BENCH_packing.json]
 
 use std::time::Instant;
 
-use chiaroscuro_bench::{Args, Table};
+use chiaroscuro_bench::{Args, Json, Table};
+use chiaroscuro_crypto::crt::CrtContext;
 use chiaroscuro_crypto::encoding::FixedPointEncoder;
 use chiaroscuro_crypto::keys::KeyPair;
 use chiaroscuro_crypto::packing::{LaneBudget, PackedEncoder};
 use chiaroscuro_crypto::scheme::Ciphertext;
-use chiaroscuro_crypto::threshold::{combine, KeyShare, PartialDecryption, ThresholdDealer};
+use chiaroscuro_crypto::threshold::{combine_with, KeyShare, PartialDecryption, ThresholdDealer};
 use chiaroscuro_crypto::wire::MeansWireModel;
 use num_bigint::BigUint;
 use rand::rngs::StdRng;
@@ -49,6 +55,10 @@ impl PipelineReport {
     fn total_ops(&self) -> usize {
         self.encryptions + self.additions + self.decryptions
     }
+
+    fn total_secs(&self) -> f64 {
+        self.encrypt_secs + self.sum_secs + self.decrypt_secs
+    }
 }
 
 fn threshold_decrypt(
@@ -57,12 +67,14 @@ fn threshold_decrypt(
     tau: usize,
     total_shares: usize,
     c: &Ciphertext,
+    crt: Option<&CrtContext>,
 ) -> BigUint {
     let partials: Vec<PartialDecryption> =
-        shares[..tau].iter().map(|s| s.partial_decrypt(&kp.public, c)).collect();
-    combine(&kp.public, &partials, tau, total_shares).expect("threshold decryption")
+        shares[..tau].iter().map(|s| s.partial_decrypt_with(&kp.public, c, crt)).collect();
+    combine_with(&kp.public, &partials, tau, total_shares, crt).expect("threshold decryption")
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args = Args::from_env();
     let means = args.get("means", 10usize);
@@ -73,6 +85,7 @@ fn main() {
     let total_shares = args.get("shares", 8usize);
     let tau = args.get("threshold", 3usize);
     let seed = args.get("seed", 42u64);
+    let json_out = args.get_str("json-out", "BENCH_packing.json");
     let entries = means * (measures + 1);
 
     eprintln!(
@@ -85,6 +98,7 @@ fn main() {
     let dealer = ThresholdDealer::new(&keypair, total_shares, tau);
     let key_shares = dealer.deal(&mut rng);
     let encoder = FixedPointEncoder::new(3);
+    let crt_ctx = keypair.secret.crt_context(&keypair.public).expect("real keys split");
 
     // The runner's lane budget: population contributors, the gossip-grade
     // doubling allowance for `exchanges` rounds, two biased vectors
@@ -114,8 +128,10 @@ fn main() {
         })
         .collect();
 
-    // --- Legacy pipeline: one ciphertext per coordinate. ---
-    let legacy = {
+    // Legacy pipeline: one ciphertext per coordinate.  The fresh seeded RNG
+    // per run makes the decodes comparable across arithmetic paths down to
+    // the bit.
+    let run_legacy = |crt: Option<&CrtContext>| -> PipelineReport {
         let mut enc_rng = StdRng::seed_from_u64(seed ^ 0x1eacc);
         let start = Instant::now();
         let encrypted: Vec<Vec<Ciphertext>> = contributions
@@ -123,7 +139,13 @@ fn main() {
             .map(|(m, v)| {
                 m.iter()
                     .chain(v.iter())
-                    .map(|&x| keypair.public.encrypt(&encoder.encode(x, &keypair.public), &mut enc_rng))
+                    .map(|&x| {
+                        keypair.public.encrypt_with(
+                            &encoder.encode(x, &keypair.public),
+                            &mut enc_rng,
+                            crt,
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -146,7 +168,7 @@ fn main() {
         let decoded: Vec<f64> = perturbed
             .iter()
             .map(|c| {
-                let plain = threshold_decrypt(&keypair, &key_shares, tau, total_shares, c);
+                let plain = threshold_decrypt(&keypair, &key_shares, tau, total_shares, c, crt);
                 encoder.decode(&plain, &keypair.public)
             })
             .collect();
@@ -163,8 +185,8 @@ fn main() {
         }
     };
 
-    // --- Packed pipeline: lanes + one counter ciphertext. ---
-    let packed = {
+    // Packed pipeline: lanes + one counter ciphertext.
+    let run_packed = |crt: Option<&CrtContext>| -> PipelineReport {
         let mut enc_rng = StdRng::seed_from_u64(seed ^ 0xbacced);
         let start = Instant::now();
         let encrypted: Vec<Vec<Ciphertext>> = contributions
@@ -174,9 +196,13 @@ fn main() {
                     .pack(m)
                     .iter()
                     .chain(packer.pack(v).iter())
-                    .map(|p| keypair.public.encrypt(p, &mut enc_rng))
+                    .map(|p| keypair.public.encrypt_with(p, &mut enc_rng, crt))
                     .collect();
-                cts.push(keypair.public.encrypt(&packer.counter_plaintext(), &mut enc_rng));
+                cts.push(keypair.public.encrypt_with(
+                    &packer.counter_plaintext(),
+                    &mut enc_rng,
+                    crt,
+                ));
                 cts
             })
             .collect();
@@ -196,10 +222,10 @@ fn main() {
         let start = Instant::now();
         let plaintexts: Vec<BigUint> = perturbed
             .iter()
-            .map(|c| threshold_decrypt(&keypair, &key_shares, tau, total_shares, c))
+            .map(|c| threshold_decrypt(&keypair, &key_shares, tau, total_shares, c, crt))
             .collect();
         let counter =
-            threshold_decrypt(&keypair, &key_shares, tau, total_shares, &aggregate[2 * blocks]);
+            threshold_decrypt(&keypair, &key_shares, tau, total_shares, &aggregate[2 * blocks], crt);
         let decoded = packer.unpack(&plaintexts, entries, &counter, 2);
         let decrypt_secs = start.elapsed().as_secs_f64();
 
@@ -214,8 +240,19 @@ fn main() {
         }
     };
 
-    // Packing must never change a decoded bit.
+    eprintln!("# schoolbook arithmetic (fast path off): legacy + packed pipelines...");
+    num_bigint::fastpath::set_enabled(false);
+    let legacy_slow = run_legacy(None);
+    let packed_slow = run_packed(None);
+    num_bigint::fastpath::set_enabled(true);
+    eprintln!("# Montgomery/CRT arithmetic: legacy + packed pipelines...");
+    let legacy = run_legacy(Some(&crt_ctx));
+    let packed = run_packed(Some(&crt_ctx));
+
+    // Neither packing nor the arithmetic path may change a decoded bit.
     assert_eq!(legacy.decoded, packed.decoded, "packed and legacy decodes diverged");
+    assert_eq!(legacy.decoded, legacy_slow.decoded, "arithmetic path moved a legacy decode");
+    assert_eq!(packed.decoded, packed_slow.decoded, "arithmetic path moved a packed decode");
 
     let mut table = Table::new(
         "packing_speedup — ciphertext operations and wall-clock per iteration",
@@ -240,11 +277,8 @@ fn main() {
         ("encrypt wall-clock (s)", legacy.encrypt_secs, packed.encrypt_secs),
         ("sum wall-clock (s)", legacy.sum_secs, packed.sum_secs),
         ("decrypt wall-clock (s)", legacy.decrypt_secs, packed.decrypt_secs),
-        (
-            "total wall-clock (s)",
-            legacy.encrypt_secs + legacy.sum_secs + legacy.decrypt_secs,
-            packed.encrypt_secs + packed.sum_secs + packed.decrypt_secs,
-        ),
+        ("total wall-clock (s)", legacy.total_secs(), packed.total_secs()),
+        ("schoolbook total (s)", legacy_slow.total_secs(), packed_slow.total_secs()),
     ] {
         table.row(&[name.into(), format!("{l:.3}"), format!("{p:.3}"), ratio(l, p)]);
     }
@@ -259,10 +293,58 @@ fn main() {
     ]);
     table.print();
 
+    let schoolbook_secs = legacy_slow.total_secs() + packed_slow.total_secs();
+    let fast_secs = legacy.total_secs() + packed.total_secs();
+    let arithmetic_speedup = schoolbook_secs / fast_secs;
+    println!(
+        "arithmetic speedup (schoolbook / Montgomery-CRT, both pipelines): {arithmetic_speedup:.2}x"
+    );
+
     let op_reduction = legacy.total_ops() as f64 / packed.total_ops() as f64;
+
+    let phase = |r: &PipelineReport| {
+        Json::object()
+            .set("encrypt_secs", r.encrypt_secs)
+            .set("sum_secs", r.sum_secs)
+            .set("decrypt_secs", r.decrypt_secs)
+            .set("total_secs", r.total_secs())
+            .set("total_ops", r.total_ops())
+    };
+    let doc = Json::object()
+        .set("bench", "packing_speedup")
+        .set("means", means)
+        .set("measures", measures)
+        .set("population", population)
+        .set("key_bits", key_bits)
+        .set("lanes", lanes)
+        .set("seed", seed)
+        .set("legacy_fast", phase(&legacy))
+        .set("packed_fast", phase(&packed))
+        .set("legacy_schoolbook", phase(&legacy_slow))
+        .set("packed_schoolbook", phase(&packed_slow))
+        .set("op_reduction", op_reduction)
+        .set("arithmetic_speedup", arithmetic_speedup)
+        .set("bit_exact", true);
+    std::fs::write(&json_out, doc.render()).expect("writing the bench artifact");
+    eprintln!("# wrote {json_out}");
+
     assert!(
         op_reduction >= 4.0,
         "acceptance: packing must cut ciphertext operations by >= 4x, measured {op_reduction:.2}x"
     );
-    eprintln!("# OK: {op_reduction:.2}x fewer ciphertext operations, decodes bit-identical");
+    // Acceptance gate: at the paper's key size the Montgomery/CRT path must
+    // beat schoolbook by >= 4x wall clock across both pipelines.
+    if key_bits >= 1024 {
+        assert!(
+            arithmetic_speedup >= 4.0,
+            "acceptance: Montgomery/CRT must be >= 4x schoolbook at {key_bits}-bit keys, \
+             measured {arithmetic_speedup:.2}x"
+        );
+        eprintln!(
+            "# OK: {op_reduction:.2}x fewer ciphertext ops, arithmetic {arithmetic_speedup:.2}x \
+             over schoolbook, decodes bit-identical"
+        );
+    } else {
+        eprintln!("# OK: {op_reduction:.2}x fewer ciphertext operations, decodes bit-identical");
+    }
 }

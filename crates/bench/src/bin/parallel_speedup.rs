@@ -1,31 +1,38 @@
-//! Parallel-execution speedup of the distributed crypto hot path.
+//! Arithmetic fast-path and parallel-execution speedup of the distributed
+//! crypto hot path.
 //!
-//! Runs the same seeded `DistributedRun` iteration twice — once strictly
-//! serially (`pool_threads = 1`) and once on the thread pool — times both,
-//! verifies the outputs are **bit-exact** (the pool must never change a
-//! single decrypted value), and reports the wall-clock speedup.
+//! Runs the same seeded `DistributedRun` iteration three times:
 //!
-//! The default workload is the PR's acceptance setting: 256 participants,
-//! k = 4, a 512-bit key, one iteration.  The hot path it exercises is the
-//! per-participant Diptych + noise-share encryption (2·k·(n+1) Damgård–Jurik
-//! encryptions per device) and the k·(n+1) threshold decryptions (τ partial
-//! decryptions + combine each).
+//! 1. **schoolbook serial** — the global bigint fast path disabled, so every
+//!    modular exponentiation takes the binary square-and-multiply route with
+//!    schoolbook division (the pre-Montgomery baseline);
+//! 2. **fast serial** — Montgomery/CRT arithmetic on, `pool_threads = 1`;
+//! 3. **fast parallel** — Montgomery/CRT arithmetic on, the thread pool.
 //!
-//! Note: the measured speedup scales with the physical cores available —
-//! on a single-core container the pool necessarily measures ≈ 1×, while the
-//! fixed-base windowed-modpow table speeds up *both* paths identically.
+//! All three outcomes must be **bit-exact** (neither the arithmetic path nor
+//! the pool may change a single decrypted value), and the bench reports two
+//! speedups: the arithmetic ratio (schoolbook / fast serial — hardware
+//! independent) and the pool ratio (fast serial / fast parallel — scales with
+//! physical cores).  At the paper's 1024-bit key the arithmetic ratio is the
+//! PR acceptance gate: the run aborts unless Montgomery/CRT is at least 4×
+//! faster than schoolbook.
+//!
+//! The hot path exercised is the per-participant Diptych + noise-share
+//! encryption (2·k·(n+1) Damgård–Jurik encryptions per device) and the
+//! k·(n+1) threshold decryptions (τ partial decryptions + combine each).
 //!
 //! Usage:
 //!   parallel_speedup [--population 256] [--k 4] [--key-bits 512]
 //!                    [--length 6] [--threshold 4] [--pool 0]
 //!                    [--iterations 1] [--seed 7]
+//!                    [--json-out BENCH_parallel.json]
 //!
 //! `--pool 0` (the default) auto-selects the machine's available
 //! parallelism for the parallel run.
 
 use std::time::Instant;
 
-use chiaroscuro_bench::{Args, Table};
+use chiaroscuro_bench::{Args, Json, Table};
 use chiaroscuro_core::config::ChiaroscuroParams;
 use chiaroscuro_core::runner::{DistributedRun, RunOutcome};
 use chiaroscuro_dp::budget::BudgetStrategy;
@@ -41,6 +48,7 @@ fn main() {
     let pool = args.get("pool", 0usize);
     let iterations = args.get("iterations", 1usize);
     let seed = args.get("seed", 7u64);
+    let json_out = args.get_str("json-out", "BENCH_parallel.json");
 
     eprintln!(
         "# parallel_speedup — {population} participants, k = {k}, {key_bits}-bit key, \
@@ -81,39 +89,89 @@ fn main() {
         (start.elapsed().as_secs_f64(), outcome)
     };
 
-    eprintln!("# serial run (pool_threads = 1)...");
+    eprintln!("# schoolbook serial run (fast path off, pool_threads = 1)...");
+    num_bigint::fastpath::set_enabled(false);
+    let (schoolbook_secs, schoolbook) = time_run(1);
+    num_bigint::fastpath::set_enabled(true);
+    eprintln!("# fast serial run (Montgomery/CRT, pool_threads = 1)...");
     let (serial_secs, serial) = time_run(1);
-    eprintln!("# parallel run (pool_threads = {pool})...");
+    eprintln!("# fast parallel run (pool_threads = {pool})...");
     let (parallel_secs, parallel) = time_run(pool);
 
-    // The pool must not change a single bit of the outcome.
-    let serial_values: Vec<Vec<f64>> =
-        serial.centroids().iter().map(|c| c.values().to_vec()).collect();
-    let parallel_values: Vec<Vec<f64>> =
-        parallel.centroids().iter().map(|c| c.values().to_vec()).collect();
-    assert_eq!(serial_values, parallel_values, "serial and parallel outcomes diverged");
+    // Neither the arithmetic path nor the pool may change a bit of the
+    // outcome.
+    let values =
+        |o: &RunOutcome| o.centroids().iter().map(|c| c.values().to_vec()).collect::<Vec<_>>();
+    let serial_values = values(&serial);
+    assert_eq!(
+        values(&schoolbook),
+        serial_values,
+        "schoolbook and Montgomery/CRT outcomes diverged"
+    );
+    assert_eq!(serial_values, values(&parallel), "serial and parallel outcomes diverged");
 
     let threads = if pool == 0 {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     } else {
         pool
     };
+    let arithmetic_ratio = schoolbook_secs / serial_secs;
+    let pool_ratio = serial_secs / parallel_secs;
     let mut table = Table::new(
-        "Distributed-iteration wall clock, serial vs thread pool",
+        "Distributed-iteration wall clock: schoolbook vs fast path vs thread pool",
         &["configuration", "threads", "seconds", "speedup"],
     );
     table.row(&[
-        "serial".to_string(),
+        "schoolbook serial".to_string(),
         "1".to_string(),
-        format!("{serial_secs:.3}"),
+        format!("{schoolbook_secs:.3}"),
         "1.00x".to_string(),
     ]);
     table.row(&[
-        "thread pool".to_string(),
+        "fast serial".to_string(),
+        "1".to_string(),
+        format!("{serial_secs:.3}"),
+        format!("{arithmetic_ratio:.2}x"),
+    ]);
+    table.row(&[
+        "fast thread pool".to_string(),
         threads.to_string(),
         format!("{parallel_secs:.3}"),
-        format!("{:.2}x", serial_secs / parallel_secs),
+        format!("{:.2}x", schoolbook_secs / parallel_secs),
     ]);
     println!("{}", table.render());
-    println!("bit-exact: yes ({} centroids compared)", serial_values.len());
+    println!("bit-exact: yes ({} centroids compared across 3 runs)", serial_values.len());
+    println!("arithmetic speedup (schoolbook / fast serial): {arithmetic_ratio:.2}x");
+    println!("pool speedup (fast serial / fast parallel):    {pool_ratio:.2}x");
+
+    let doc = Json::object()
+        .set("bench", "parallel_speedup")
+        .set("population", population)
+        .set("k", k)
+        .set("key_bits", key_bits)
+        .set("length", length)
+        .set("threshold", threshold)
+        .set("iterations", iterations)
+        .set("seed", seed)
+        .set("threads", threads)
+        .set("schoolbook_serial_secs", schoolbook_secs)
+        .set("fast_serial_secs", serial_secs)
+        .set("fast_parallel_secs", parallel_secs)
+        .set("arithmetic_speedup", arithmetic_ratio)
+        .set("pool_speedup", pool_ratio)
+        .set("bit_exact", true);
+    std::fs::write(&json_out, doc.render()).expect("writing the bench artifact");
+    eprintln!("# wrote {json_out}");
+
+    // Acceptance gate: at the paper's key size the Montgomery/CRT path must
+    // beat schoolbook by >= 4x.  Smaller keys spend proportionally more time
+    // outside modular exponentiation, so the gate only arms at 1024 bits.
+    if key_bits >= 1024 {
+        assert!(
+            arithmetic_ratio >= 4.0,
+            "acceptance: Montgomery/CRT must be >= 4x schoolbook at {key_bits}-bit keys, \
+             measured {arithmetic_ratio:.2}x"
+        );
+        eprintln!("# OK: arithmetic fast path {arithmetic_ratio:.2}x over schoolbook (gate: 4x)");
+    }
 }

@@ -186,6 +186,7 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             packed_layout: packing.as_ref().map(|p| p.layout()),
         };
         let backend = Arc::new(B::setup(&setup, rng));
+        backend.precompute();
         if let (Some(packer), Some(capacity)) = (&packing, backend.plaintext_capacity_bits()) {
             let layout = packer.layout();
             assert!(

@@ -384,6 +384,9 @@ impl<'a, B: CipherBackend> DistributedRun<'a, B> {
             packed_layout: packing.as_ref().map(|p| p.layout()),
         };
         let backend = Arc::new(B::setup(&setup, rng));
+        // Pay for derived lookup state (Montgomery contexts, fixed-base
+        // tables) up front, outside the per-iteration accounting.
+        backend.precompute();
         if let (Some(packer), Some(capacity)) = (&packing, backend.plaintext_capacity_bits()) {
             // The layout was planned from the pre-keygen capacity bound;
             // re-check it against the modulus actually generated so a

@@ -82,3 +82,37 @@ proptest! {
         }
     }
 }
+
+/// The same Damgård–Jurik run, once over the Montgomery/CRT fast path and
+/// once over pure schoolbook arithmetic (the global fast-path switch turned
+/// off), must produce bit-identical centroids, reports and network stats.
+/// This pins the pinned-seed baselines to *both* arithmetic pipelines: the
+/// fast path can never drift a recorded scenario.
+#[test]
+fn fastpath_and_schoolbook_crypto_runs_agree_bit_for_bit() {
+    let data = dataset(14);
+    let run = || DistributedRun::new(params(2, 0.25), &data).execute(0xC1A0_0007);
+
+    let fast = run();
+    num_bigint::fastpath::set_enabled(false);
+    let slow = run();
+    num_bigint::fastpath::set_enabled(true);
+
+    let fast_values: Vec<Vec<f64>> =
+        fast.centroids().iter().map(|c| c.values().to_vec()).collect();
+    let slow_values: Vec<Vec<f64>> =
+        slow.centroids().iter().map(|c| c.values().to_vec()).collect();
+    assert_eq!(fast_values, slow_values, "centroids must not move with the arithmetic path");
+    assert_eq!(fast.report.num_iterations(), slow.report.num_iterations());
+    assert!((fast.report.total_epsilon() - slow.report.total_epsilon()).abs() < 1e-15);
+    assert_eq!(fast.network.len(), slow.network.len());
+    for (f, s) in fast.network.iter().zip(slow.network.iter()) {
+        assert_eq!(f.sum_messages_per_node, s.sum_messages_per_node);
+        assert_eq!(f.dissemination_messages_per_node, s.dissemination_messages_per_node);
+        assert_eq!(f.sum_rounds, s.sum_rounds);
+        assert_eq!(f.dissemination_converged, s.dissemination_converged);
+        assert_eq!(f.noise_share_deficit, s.noise_share_deficit);
+        assert_eq!(f.sum_payload_ciphertexts, s.sum_payload_ciphertexts);
+        assert_eq!(f.sum_payload_bytes, s.sum_payload_bytes);
+    }
+}

@@ -1,6 +1,7 @@
 //! Modular-arithmetic helpers shared by the encryption scheme and the
 //! threshold machinery.
 
+use num_bigint::montgomery::{MontInt, MontgomeryCtx};
 use num_bigint::{BigInt, BigUint};
 use num_integer::Integer;
 use num_traits::{One, Signed, Zero};
@@ -113,14 +114,43 @@ pub fn extract_plaintext(a: &BigUint, n: &BigUint, s: u32) -> BigUint {
 ///
 /// The table is immutable after construction, so it is freely shared across
 /// threads by the parallel encryption path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// For odd moduli the rows are additionally kept in Montgomery form, so a
+/// whole exponentiation runs as REDC multiplications with a single final
+/// conversion — the per-call `to_mont`/`from_mont` overhead of the generic
+/// dispatch disappears.  The Montgomery mirror is derived state: equality
+/// ignores it, and the global [`num_bigint::fastpath`] switch decides at
+/// call time whether [`FixedBaseTable::pow`] uses it.
+#[derive(Debug, Clone)]
 pub struct FixedBaseTable {
     base: BigUint,
     modulus: BigUint,
     window_bits: u64,
     /// `table[i][j - 1] = base^(j << (window_bits · i)) mod modulus`.
     table: Vec<Vec<BigUint>>,
+    /// The same rows in Montgomery form, for odd moduli.
+    mont: Option<MontRows>,
 }
+
+/// Montgomery mirror of a [`FixedBaseTable`]: the shared REDC context plus
+/// every row converted with `to_mont` once at construction.
+#[derive(Debug, Clone)]
+struct MontRows {
+    ctx: MontgomeryCtx,
+    rows: Vec<Vec<MontInt>>,
+}
+
+impl PartialEq for FixedBaseTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery mirror is a performance artefact, not identity.
+        self.base == other.base
+            && self.modulus == other.modulus
+            && self.window_bits == other.window_bits
+            && self.table == other.table
+    }
+}
+
+impl Eq for FixedBaseTable {}
 
 /// Window width: 16-entry rows keep the one-time table cost (≈ `4·bits`
 /// multiplications) negligible against the thousands of exponentiations that
@@ -152,12 +182,39 @@ impl FixedBaseTable {
             level_base = acc;
             table.push(row);
         }
-        Self { base: base % modulus, modulus: modulus.clone(), window_bits, table }
+        let mont = MontgomeryCtx::new(modulus).map(|ctx| {
+            let rows = table
+                .iter()
+                .map(|row| row.iter().map(|value| ctx.to_mont(value)).collect())
+                .collect();
+            MontRows { ctx, rows }
+        });
+        Self { base: base % modulus, modulus: modulus.clone(), window_bits, table, mont }
     }
 
     /// The number of exponent bits the table covers.
     pub fn capacity_bits(&self) -> u64 {
         self.window_bits * self.table.len() as u64
+    }
+
+    /// The window digit of `exponent` (as little-endian limbs) at `level`.
+    fn window_digit(&self, digits: &[u64], level: usize) -> u64 {
+        let mask = (1u64 << self.window_bits) - 1;
+        let bit = level as u64 * self.window_bits;
+        let limb = (bit / 64) as usize;
+        if limb >= digits.len() {
+            return 0;
+        }
+        let offset = bit % 64;
+        let mut digit = (digits[limb] >> offset) & mask;
+        // A window can straddle two 64-bit limbs (64 % window_bits == 0
+        // for w = 4, but keep the general form in case w changes).
+        if offset + self.window_bits > 64 {
+            if let Some(&next) = digits.get(limb + 1) {
+                digit |= (next << (64 - offset)) & mask;
+            }
+        }
+        digit
     }
 
     /// `base^exponent mod modulus` using only multiplications of
@@ -167,25 +224,32 @@ impl FixedBaseTable {
         if exponent.bits() > self.capacity_bits() {
             return self.base.modpow(exponent, &self.modulus);
         }
-        let mask = (1u64 << self.window_bits) - 1;
         let digits = exponent.to_u64_digits();
+        let levels = exponent.bits().div_ceil(self.window_bits) as usize;
+        if num_bigint::fastpath::enabled() {
+            if let Some(mont) = &self.mont {
+                let mut acc: Option<MontInt> = None;
+                for (level, row) in mont.rows.iter().enumerate().take(levels) {
+                    let digit = self.window_digit(&digits, level);
+                    if digit == 0 {
+                        continue;
+                    }
+                    let factor = &row[digit as usize - 1];
+                    acc = Some(match acc {
+                        Some(a) => mont.ctx.mont_mul(&a, factor),
+                        None => factor.clone(),
+                    });
+                }
+                return match acc {
+                    Some(a) => mont.ctx.from_mont(&a),
+                    None => BigUint::one() % &self.modulus,
+                };
+            }
+        }
         let mut result = BigUint::one();
         let mut first = true;
-        for (level, row) in self.table.iter().enumerate() {
-            let bit = level as u64 * self.window_bits;
-            let limb = (bit / 64) as usize;
-            if limb >= digits.len() {
-                break;
-            }
-            let offset = bit % 64;
-            let mut digit = (digits[limb] >> offset) & mask;
-            // A window can straddle two 64-bit limbs (64 % window_bits == 0
-            // for w = 4, but keep the general form in case w changes).
-            if offset + self.window_bits > 64 {
-                if let Some(&next) = digits.get(limb + 1) {
-                    digit |= (next << (64 - offset)) & mask;
-                }
-            }
+        for (level, row) in self.table.iter().enumerate().take(levels) {
+            let digit = self.window_digit(&digits, level);
             if digit == 0 {
                 continue;
             }

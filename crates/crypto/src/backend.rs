@@ -45,14 +45,17 @@
 //! under [`DamgardJurik`]: surrogate units travel in cleartext, standing in
 //! for the ciphertexts the deployed protocol would send.
 
+use std::sync::Arc;
+
 use num_bigint::BigUint;
 use num_traits::Zero;
 use rand::Rng;
 
+use crate::crt::CrtContext;
 use crate::encoding::FixedPointEncoder;
 use crate::keys::{KeyPair, PublicKey};
 use crate::packing::PackedLayout;
-use crate::threshold::{combine, KeyShare, PartialDecryption, ThresholdDealer};
+use crate::threshold::{combine_with, KeyShare, PartialDecryption, ThresholdDealer};
 
 /// Everything a backend needs to bootstrap one distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +96,11 @@ pub trait CipherBackend: std::fmt::Debug + Send + Sync + Sized + 'static {
     /// Bootstraps the backend: key generation plus threshold dealing (or
     /// the RNG-parity equivalent for surrogates).
     fn setup<R: Rng + ?Sized>(config: &BackendSetup<'_>, rng: &mut R) -> Self;
+
+    /// Eagerly builds derived lookup state (Montgomery contexts, fixed-base
+    /// tables) so the first timed operation does not pay for it.
+    /// Idempotent; a no-op for backends without derived state.
+    fn precompute(&self) {}
 
     /// Encrypts one plaintext integer into a unit.
     fn encrypt<R: Rng + ?Sized>(&self, plaintext: &BigUint, rng: &mut R) -> Self::Unit;
@@ -160,11 +168,21 @@ pub trait CipherBackend: std::fmt::Debug + Send + Sync + Sized + 'static {
 ///
 /// Holds the public key and the dealt key-shares; the first τ shares
 /// perform every threshold decryption, matching the historical runner.
+///
+/// Because this backend plays every role of the simulated deployment —
+/// dealer, encrypting devices, decrypting share-holders — it also keeps the
+/// CRT fast-path context derived from the factorisation it generated
+/// ([`CrtContext`]; see that type's docs for the trust boundary).  The
+/// context never leaves the struct: [`CipherBackend::export_public`] ships
+/// only the public key, so provisioned node actors run at public-key speed.
+/// Usage is gated at call time on [`num_bigint::fastpath`], so disabling
+/// the switch yields the full schoolbook pipeline from the same backend.
 #[derive(Debug, Clone)]
 pub struct DamgardJurik {
     public: PublicKey,
     shares: Vec<KeyShare>,
     threshold: usize,
+    crt: Option<Arc<CrtContext>>,
 }
 
 impl DamgardJurik {
@@ -173,12 +191,23 @@ impl DamgardJurik {
     /// [`CipherBackend::threshold_decrypt`] panics.  Useful for tests and
     /// benches that decrypt with the full secret key.
     pub fn from_public_key(public: PublicKey) -> Self {
-        Self { public, shares: Vec::new(), threshold: 0 }
+        Self { public, shares: Vec::new(), threshold: 0, crt: None }
     }
 
     /// The public key this backend encrypts under.
     pub fn public_key(&self) -> &PublicKey {
         &self.public
+    }
+
+    /// The CRT fast-path context, when the factorisation is held *and* the
+    /// global fast-path switch is on (`None` means every operation takes
+    /// the public, direct route).
+    fn crt(&self) -> Option<&CrtContext> {
+        if num_bigint::fastpath::enabled() {
+            self.crt.as_deref()
+        } else {
+            None
+        }
     }
 }
 
@@ -192,15 +221,23 @@ impl CipherBackend for DamgardJurik {
         let keypair = KeyPair::generate(config.key_bits, config.damgard_jurik_s, rng);
         let dealer = ThresholdDealer::new(&keypair, config.population, config.key_share_threshold);
         let shares = dealer.deal(rng);
-        Self { public: keypair.public, shares, threshold: config.key_share_threshold }
+        // The CRT context is derived state (no RNG draws), so building it
+        // unconditionally keeps the parity contract; whether it is *used*
+        // is decided per call by the fastpath switch.
+        let crt = keypair.secret.crt_context(&keypair.public).map(Arc::new);
+        Self { public: keypair.public, shares, threshold: config.key_share_threshold, crt }
+    }
+
+    fn precompute(&self) {
+        self.public.precompute();
     }
 
     fn encrypt<R: Rng + ?Sized>(&self, plaintext: &BigUint, rng: &mut R) -> Self::Unit {
-        self.public.encrypt(plaintext, rng)
+        self.public.encrypt_with(plaintext, rng, self.crt())
     }
 
     fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Unit {
-        self.public.encrypt_zero(rng)
+        self.public.encrypt_with(&BigUint::zero(), rng, self.crt())
     }
 
     fn add(&self, a: &Self::Unit, b: &Self::Unit) -> Self::Unit {
@@ -216,11 +253,12 @@ impl CipherBackend for DamgardJurik {
             self.threshold >= 1 && self.shares.len() >= self.threshold,
             "this Damgård–Jurik backend holds no key-shares (built with from_public_key?)"
         );
+        let crt = self.crt();
         let partials: Vec<PartialDecryption> = self.shares[..self.threshold]
             .iter()
-            .map(|share| share.partial_decrypt(&self.public, unit))
+            .map(|share| share.partial_decrypt_with(&self.public, unit, crt))
             .collect();
-        combine(&self.public, &partials, self.threshold, self.shares.len())
+        combine_with(&self.public, &partials, self.threshold, self.shares.len(), crt)
             .expect("threshold decryption with exactly tau distinct shares")
     }
 

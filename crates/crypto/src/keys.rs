@@ -12,12 +12,14 @@
 
 use std::sync::{Arc, OnceLock};
 
+use num_bigint::montgomery::MontgomeryCtx;
 use num_bigint::BigUint;
 use num_traits::One;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::arith::{lcm, mod_inverse, FixedBaseTable};
+use crate::crt::CrtContext;
 use crate::primes::generate_prime_pair;
 
 /// The public encryption key `χ = (n, g)` plus the precomputed powers of `n`.
@@ -26,8 +28,11 @@ use crate::primes::generate_prime_pair;
 /// `g` (see [`FixedBaseTable`]): every encryption raises `g` to an encoded
 /// plaintext, and negative fixed-point encodings are full-width exponents,
 /// so the thousands of encryptions per distributed iteration amortise one
-/// table against all their `g^m` modpows.  The cache is invisible to
-/// equality and serialisation (it is derived state, rebuilt on demand).
+/// table against all their `g^m` modpows.  A second cache holds the
+/// Montgomery context for the ciphertext modulus `n^{s+1}` (see
+/// [`PublicKey::modpow_ciphertext`]), amortising the per-modulus REDC setup
+/// across every exponentiation of a run.  Both caches are invisible to
+/// equality and serialisation (they are derived state, rebuilt on demand).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PublicKey {
     n: BigUint,
@@ -37,6 +42,7 @@ pub struct PublicKey {
     g: BigUint,
     key_bits: u64,
     g_table: OnceLock<Arc<FixedBaseTable>>,
+    ct_ctx: OnceLock<Arc<MontgomeryCtx>>,
 }
 
 impl PartialEq for PublicKey {
@@ -55,7 +61,7 @@ impl PublicKey {
         let n_s = n.pow(s);
         let n_s1 = &n_s * &n;
         let g = &n + BigUint::one();
-        Self { n, s, n_s, n_s1, g, key_bits, g_table: OnceLock::new() }
+        Self { n, s, n_s, n_s1, g, key_bits, g_table: OnceLock::new(), ct_ctx: OnceLock::new() }
     }
 
     /// The RSA modulus `n`.
@@ -139,9 +145,38 @@ impl PublicKey {
             .get_or_init(|| Arc::new(FixedBaseTable::new(&self.g, &self.n_s1, self.n_s.bits())))
     }
 
+    /// The cached Montgomery context for the ciphertext modulus `n^{s+1}`.
+    ///
+    /// `n^{s+1}` is odd for every real key (both prime factors are odd), so
+    /// this only returns `None` for degenerate hand-built keys; callers fall
+    /// back to the generic [`BigUint::modpow`] dispatch.
+    pub fn ciphertext_ctx(&self) -> Option<&Arc<MontgomeryCtx>> {
+        if self.ct_ctx.get().is_none() {
+            let ctx = MontgomeryCtx::new(&self.n_s1)?;
+            let _ = self.ct_ctx.set(Arc::new(ctx));
+        }
+        self.ct_ctx.get()
+    }
+
+    /// `base^exponent mod n^{s+1}` through the cached Montgomery context —
+    /// the batched form every ciphertext-space exponentiation of a run
+    /// should use (one REDC setup for all of them).  Value-identical to
+    /// `base.modpow(exponent, n^{s+1})`; honours the global
+    /// [`num_bigint::fastpath`] switch, falling back to the schoolbook
+    /// ladder when the fast path is disabled.
+    pub fn modpow_ciphertext(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if num_bigint::fastpath::enabled() {
+            if let Some(ctx) = self.ciphertext_ctx() {
+                return ctx.modpow(base, exponent);
+            }
+        }
+        base.modpow(exponent, &self.n_s1)
+    }
+
     /// Eagerly builds the derived lookup tables (idempotent).
     pub fn precompute(&self) {
         self.generator_table();
+        let _ = self.ciphertext_ctx();
     }
 }
 
@@ -169,6 +204,14 @@ impl SecretKey {
     /// The secret-sharing modulus `n^s · λ` used by the Shamir dealer.
     pub fn sharing_modulus(&self, pk: &PublicKey) -> BigUint {
         pk.plaintext_modulus() * &self.lambda
+    }
+
+    /// Builds the CRT fast-path context from the factorisation this key
+    /// holds (see [`CrtContext`] for the trust boundary).  `None` only for
+    /// degenerate keys whose factors cannot support the split.
+    pub fn crt_context(&self, pk: &PublicKey) -> Option<CrtContext> {
+        debug_assert_eq!(&(&self.p * &self.q), pk.modulus(), "key pair mismatch");
+        CrtContext::new(&self.p, &self.q, pk.s())
     }
 }
 

@@ -17,6 +17,9 @@
 //!   function, factorials and Lagrange coefficients;
 //! * [`keys`] — key generation (`n = p·q`, `g = 1 + n`, the CRT-combined
 //!   threshold exponent `d`);
+//! * [`crt`] — CRT-split exponentiation modulo `n^{s+1}` for holders of the
+//!   factorisation (half-width Montgomery halves, group-order exponent
+//!   reduction, Garner recombination — the Damgård–Jurik fast path);
 //! * [`scheme`] — encryption, decryption, homomorphic addition and scalar
 //!   multiplication, re-randomisation;
 //! * [`threshold`] — Shamir sharing of `d`, partial decryption with one
@@ -46,6 +49,7 @@
 
 pub mod arith;
 pub mod backend;
+pub mod crt;
 pub mod encoding;
 pub mod keys;
 pub mod packing;
@@ -55,6 +59,7 @@ pub mod threshold;
 pub mod wire;
 
 pub use backend::{BackendSetup, CipherBackend, DamgardJurik, PlaintextSurrogate};
+pub use crt::CrtContext;
 pub use encoding::FixedPointEncoder;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use packing::{LaneBudget, PackedEncoder, PackedLayout, PackingError};

@@ -1,6 +1,7 @@
 //! Miller–Rabin primality testing and random prime generation for the RSA
 //! modulus of the Damgård–Jurik scheme.
 
+use num_bigint::montgomery::MontgomeryCtx;
 use num_bigint::{BigUint, RandBigInt};
 use num_integer::Integer;
 use num_traits::{One, Zero};
@@ -35,6 +36,12 @@ pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rng: &mut R) -> b
 }
 
 /// Miller–Rabin with `rounds` random bases.
+///
+/// Every candidate reaching this point is odd (2 belongs to the trial
+/// divisors), so one [`MontgomeryCtx`] serves all `rounds` witness
+/// exponentiations and their follow-up squarings — the per-modulus REDC
+/// setup is paid once per candidate instead of once per modpow.  The
+/// schoolbook route stays available behind the global fast-path switch.
 fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     let one = BigUint::one();
     let two = BigUint::from(2u32);
@@ -46,14 +53,19 @@ fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> boo
         d >>= 1;
         r += 1;
     }
+    let ctx = if num_bigint::fastpath::enabled() { MontgomeryCtx::new(n) } else { None };
+    let pow = |base: &BigUint, exp: &BigUint| match &ctx {
+        Some(ctx) => ctx.modpow(base, exp),
+        None => base.modpow(exp, n),
+    };
     'witness: for _ in 0..rounds {
         let a = rng.gen_biguint_range(&two, &n_minus_one);
-        let mut x = a.modpow(&d, n);
+        let mut x = pow(&a, &d);
         if x == one || x == n_minus_one {
             continue 'witness;
         }
         for _ in 0..(r - 1) {
-            x = x.modpow(&two, n);
+            x = pow(&x, &two);
             if x == n_minus_one {
                 continue 'witness;
             }

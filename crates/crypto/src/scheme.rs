@@ -8,6 +8,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::arith::extract_plaintext;
+use crate::crt::CrtContext;
 use crate::keys::{PublicKey, SecretKey};
 
 /// A ciphertext: an element of `Z*_{n^{s+1}}`.
@@ -43,9 +44,30 @@ impl PublicKey {
     /// # Panics
     /// Panics if `m ≥ n^s`.
     pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        self.encrypt_with(m, rng, None)
+    }
+
+    /// [`PublicKey::encrypt`] with an optional CRT fast-path context for the
+    /// mask exponentiation `r^{n^s}` — the dominant cost of every
+    /// encryption.  Holders of the factorisation (the simulation-side
+    /// backend, tests, benches) pass `Some`; the result is bit-identical
+    /// either way and the RNG draws are the same, so the two forms are
+    /// interchangeable under any pinned seed.
+    ///
+    /// # Panics
+    /// Panics if `m ≥ n^s`.
+    pub fn encrypt_with<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+        crt: Option<&CrtContext>,
+    ) -> Ciphertext {
         assert!(m < self.plaintext_modulus(), "plaintext must be below n^s");
         let r = self.random_unit(rng);
-        let mask = r.modpow(self.plaintext_modulus(), self.ciphertext_modulus());
+        let mask = match crt {
+            Some(ctx) => ctx.modpow(&r, self.plaintext_modulus()),
+            None => self.modpow_ciphertext(&r, self.plaintext_modulus()),
+        };
         // g = 1 + n, so g^m collapses to the closed-form binomial sum
         // (1 + m·n for s = 1) — negative fixed-point encodings are
         // full-width exponents, so this replaces an entire square-and-
@@ -67,7 +89,7 @@ impl PublicKey {
 
     /// Homomorphic scalar multiplication `k ·ₕ E(a) = E(k · a mod n^s)`.
     pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
-        Ciphertext { value: a.value.modpow(k, self.ciphertext_modulus()) }
+        Ciphertext { value: self.modpow_ciphertext(&a.value, k) }
     }
 
     /// Doubles a ciphertext `e` times: `E(2^e · a)`.  This is the scaling
@@ -98,7 +120,12 @@ impl SecretKey {
     /// `c^d = (1+n)^m (mod n^{s+1})`, then the plaintext `m` is extracted
     /// from the discrete logarithm of `1 + n`.
     pub fn decrypt(&self, pk: &PublicKey, c: &Ciphertext) -> BigUint {
-        let stripped = c.raw().modpow(self.d(), pk.ciphertext_modulus());
+        // The secret key knows the factorisation, so `c^d` gets the full
+        // CRT split when available (bit-identical to the direct modpow).
+        let stripped = match self.crt_context(pk) {
+            Some(crt) if num_bigint::fastpath::enabled() => crt.modpow(c.raw(), self.d()),
+            _ => pk.modpow_ciphertext(c.raw(), self.d()),
+        };
         extract_plaintext(&stripped, pk.modulus(), pk.s())
     }
 }

@@ -20,6 +20,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::arith::{extract_plaintext, factorial, lagrange_at_zero, mod_inverse, modpow_signed};
+use crate::crt::CrtContext;
 use crate::keys::{KeyPair, PublicKey};
 use crate::scheme::Ciphertext;
 
@@ -47,12 +48,29 @@ impl KeyShare {
 
     /// Partially decrypts a ciphertext: `cᵢ = c^{2Δ·sᵢ} mod n^{s+1}`.
     pub fn partial_decrypt(&self, pk: &PublicKey, c: &Ciphertext) -> PartialDecryption {
+        self.partial_decrypt_with(pk, c, None)
+    }
+
+    /// [`KeyShare::partial_decrypt`] with an optional CRT fast-path context.
+    ///
+    /// The exponent `2Δ·sᵢ` is the protocol's largest — `Δ = ℓ!` alone is
+    /// thousands of bits at population scale — so the group-order reduction
+    /// inside the CRT split pays off most here.  The simulation-side dealer
+    /// (which already holds the factorisation) passes `Some`; a real device
+    /// computes the identical value through the direct path.
+    pub fn partial_decrypt_with(
+        &self,
+        pk: &PublicKey,
+        c: &Ciphertext,
+        crt: Option<&CrtContext>,
+    ) -> PartialDecryption {
         let delta = factorial(self.num_shares);
         let exponent = BigUint::from(2u32) * &delta * &self.value;
-        PartialDecryption {
-            share_index: self.index,
-            value: c.raw().modpow(&exponent, pk.ciphertext_modulus()),
-        }
+        let value = match crt {
+            Some(ctx) => ctx.modpow(c.raw(), &exponent),
+            None => pk.modpow_ciphertext(c.raw(), &exponent),
+        };
+        PartialDecryption { share_index: self.index, value }
     }
 }
 
@@ -186,6 +204,19 @@ pub fn combine(
     threshold: usize,
     num_shares: usize,
 ) -> Result<BigUint, CombineError> {
+    combine_with(pk, partials, threshold, num_shares, None)
+}
+
+/// [`combine`] with an optional CRT fast-path context for the Δ-scaled
+/// Lagrange exponentiations (which grow with `ℓ!` just like the partial
+/// decryption exponents).  Value-identical to the direct path.
+pub fn combine_with(
+    pk: &PublicKey,
+    partials: &[PartialDecryption],
+    threshold: usize,
+    num_shares: usize,
+    crt: Option<&CrtContext>,
+) -> Result<BigUint, CombineError> {
     if partials.len() < threshold {
         return Err(CombineError::NotEnoughShares { provided: partials.len(), required: threshold });
     }
@@ -207,7 +238,10 @@ pub fn combine(
     for p in used {
         let coeff = lagrange_at_zero(p.share_index, &subset, &delta);
         let exponent: BigInt = BigInt::from(2u32) * coeff;
-        let factor = modpow_signed(&p.value, &exponent, pk.ciphertext_modulus());
+        let factor = match crt {
+            Some(ctx) => ctx.modpow_signed(&p.value, &exponent),
+            None => modpow_signed(&p.value, &exponent, pk.ciphertext_modulus()),
+        };
         combined = (combined * factor) % pk.ciphertext_modulus();
     }
     // combined = c^{4Δ²·d} = (1+n)^{4Δ²·m}; extract and divide by 4Δ² mod n^s.

@@ -1,0 +1,188 @@
+//! CRT-equivalence suite: every fast-path operation must be bit-identical
+//! to its direct counterpart, across the scenario grid of
+//! `(s, key_bits, threshold)` and under random plaintexts.
+//!
+//! The fast path threads a [`CrtContext`] through encryption masks, partial
+//! decryptions and share combination; none of those routes may move a
+//! single output bit or consume a different RNG draw, because the pinned
+//! scenario baselines (seed `0xC1A0_0007` and friends) were recorded on the
+//! direct path.  This suite is the contract: same seed in, same bytes out.
+
+use chiaroscuro_crypto::keys::KeyPair;
+use chiaroscuro_crypto::threshold::{combine, combine_with, PartialDecryption, ThresholdDealer};
+use num_bigint::{BigUint, RandBigInt};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One scenario: generate a key pair, deal shares, and drive a handful of
+/// plaintexts through both the direct and the CRT route, asserting
+/// bit-for-bit equality at every step.
+fn assert_crt_equivalence(seed: u64, key_bits: u64, s: u32, shares: usize, threshold: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kp = KeyPair::generate(key_bits, s, &mut rng);
+    let dealer = ThresholdDealer::new(&kp, shares, threshold);
+    let key_shares = dealer.deal(&mut rng);
+    let crt = kp.secret.crt_context(&kp.public).expect("real keys always support the split");
+    assert_eq!(crt.ciphertext_modulus(), kp.public.ciphertext_modulus());
+
+    let n_s = kp.public.plaintext_modulus().clone();
+    let plaintexts = [
+        BigUint::from(0u32),
+        BigUint::from(1u32),
+        BigUint::from(123_456u32),
+        &n_s - BigUint::from(1u32),
+        rng.gen_biguint_below(&n_s),
+    ];
+    for (i, m) in plaintexts.iter().enumerate() {
+        // Same RNG sub-stream for both routes: identical mask draws, so the
+        // ciphertexts must be identical bytes, not merely equivalent.
+        let mut direct_rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 8));
+        let mut crt_rng = direct_rng.clone();
+        let direct_ct = kp.public.encrypt_with(m, &mut direct_rng, None);
+        let crt_ct = kp.public.encrypt_with(m, &mut crt_rng, Some(&crt));
+        assert_eq!(direct_ct, crt_ct, "encryption diverged (m index {i})");
+        assert_eq!(direct_rng, crt_rng, "the CRT route consumed different draws");
+
+        // Partial decryptions: every share, both routes.
+        let direct_partials: Vec<PartialDecryption> = key_shares[..threshold]
+            .iter()
+            .map(|sh| sh.partial_decrypt_with(&kp.public, &direct_ct, None))
+            .collect();
+        let crt_partials: Vec<PartialDecryption> = key_shares[..threshold]
+            .iter()
+            .map(|sh| sh.partial_decrypt_with(&kp.public, &crt_ct, Some(&crt)))
+            .collect();
+        assert_eq!(direct_partials, crt_partials, "partial decryption diverged");
+
+        // Combination: both routes recover the plaintext from either set.
+        let direct = combine(&kp.public, &direct_partials, threshold, shares).unwrap();
+        let fast =
+            combine_with(&kp.public, &crt_partials, threshold, shares, Some(&crt)).unwrap();
+        assert_eq!(direct, fast, "combination diverged");
+        assert_eq!(&direct, m, "threshold decryption must round-trip");
+
+        // Full-secret-key decryption agrees too.
+        assert_eq!(&kp.secret.decrypt(&kp.public, &crt_ct), m);
+    }
+}
+
+#[test]
+fn crt_equivalence_s1_key256_tau3() {
+    assert_crt_equivalence(0xC1A0_0001, 256, 1, 8, 3);
+}
+
+#[test]
+fn crt_equivalence_s2_key128_tau3() {
+    assert_crt_equivalence(0xC1A0_0002, 128, 2, 5, 3);
+}
+
+#[test]
+fn crt_equivalence_s1_key128_tau1() {
+    assert_crt_equivalence(0xC1A0_0003, 128, 1, 4, 1);
+}
+
+/// The paper's key size; minutes of schoolbook-era work, seconds now — but
+/// still `#[ignore]`d so the default test pass stays quick (the
+/// crypto-fastpath CI lane runs it in release).
+#[test]
+#[ignore = "1024-bit keys; run with --ignored in release builds"]
+fn crt_equivalence_s1_key1024_tau4() {
+    assert_crt_equivalence(0xC1A0_0004, 1024, 1, 6, 4);
+}
+
+/// The raw exponentiation engine agrees with the generic dispatch on
+/// random (base, exponent) pairs over a real key's ciphertext modulus,
+/// including oversized bases and exponents far beyond the group order.
+#[test]
+fn crt_modpow_matches_direct_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xC1A0_0005);
+    let kp = KeyPair::generate(192, 1, &mut rng);
+    let crt = kp.secret.crt_context(&kp.public).unwrap();
+    let n_s1 = kp.public.ciphertext_modulus();
+    for round in 0..20 {
+        let base_bits = 1 + (round * 97) % (2 * n_s1.bits());
+        let exp_bits = (round * 61) % (3 * n_s1.bits());
+        let base = rng.gen_biguint(base_bits);
+        let exp = rng.gen_biguint(exp_bits);
+        assert_eq!(crt.modpow(&base, &exp), base.modpow(&exp, n_s1), "round {round}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random plaintexts through the whole encrypt → partial → combine
+    /// pipeline, both routes, bit-for-bit.
+    #[test]
+    fn crt_pipeline_equivalence_over_random_plaintexts(
+        seed in any::<u64>(),
+        m_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let dealer = ThresholdDealer::new(&kp, 5, 2);
+        let key_shares = dealer.deal(&mut rng);
+        let crt = kp.secret.crt_context(&kp.public).unwrap();
+        let m = StdRng::seed_from_u64(m_seed).gen_biguint_below(kp.public.plaintext_modulus());
+
+        let mut direct_rng = StdRng::seed_from_u64(m_seed ^ 0xD1FF);
+        let mut crt_rng = direct_rng.clone();
+        let direct_ct = kp.public.encrypt_with(&m, &mut direct_rng, None);
+        let crt_ct = kp.public.encrypt_with(&m, &mut crt_rng, Some(&crt));
+        prop_assert_eq!(&direct_ct, &crt_ct);
+
+        let direct_partials: Vec<PartialDecryption> = key_shares[..2]
+            .iter()
+            .map(|sh| sh.partial_decrypt_with(&kp.public, &direct_ct, None))
+            .collect();
+        let crt_partials: Vec<PartialDecryption> = key_shares[..2]
+            .iter()
+            .map(|sh| sh.partial_decrypt_with(&kp.public, &crt_ct, Some(&crt)))
+            .collect();
+        prop_assert_eq!(&direct_partials, &crt_partials);
+        let direct = combine(&kp.public, &direct_partials, 2, 5).unwrap();
+        let fast = combine_with(&kp.public, &crt_partials, 2, 5, Some(&crt)).unwrap();
+        prop_assert_eq!(&direct, &fast);
+        prop_assert_eq!(&direct, &m);
+    }
+
+    /// `CrtContext::modpow` == direct modpow over random bases/exponents
+    /// and random small keys (fresh factorisation each case).
+    #[test]
+    fn crt_modpow_equivalence_over_random_keys(
+        seed in any::<u64>(),
+        s in 1u32..=2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(64, s, &mut rng);
+        let crt = kp.secret.crt_context(&kp.public).unwrap();
+        let n_s1 = kp.public.ciphertext_modulus();
+        let base = rng.gen_biguint(2 * n_s1.bits() + 3);
+        let exp = rng.gen_biguint(2 * n_s1.bits() + 3);
+        prop_assert_eq!(crt.modpow(&base, &exp), base.modpow(&exp, n_s1));
+    }
+}
+
+/// The global fast-path switch flips the whole crypto pipeline between
+/// schoolbook and Montgomery/CRT arithmetic without moving a bit.
+#[test]
+fn fastpath_switch_is_value_invisible_to_the_scheme() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(0xC1A0_0006);
+        let kp = KeyPair::generate(128, 1, &mut rng);
+        let dealer = ThresholdDealer::new(&kp, 4, 2);
+        let key_shares = dealer.deal(&mut rng);
+        let m = BigUint::from(987_654u32);
+        let ct = kp.public.encrypt(&m, &mut rng);
+        let partials: Vec<PartialDecryption> =
+            key_shares[..2].iter().map(|sh| sh.partial_decrypt(&kp.public, &ct)).collect();
+        let recovered = combine(&kp.public, &partials, 2, 4).unwrap();
+        (kp.public.clone(), ct, partials, recovered)
+    };
+    let fast = run();
+    num_bigint::fastpath::set_enabled(false);
+    let slow = run();
+    num_bigint::fastpath::set_enabled(true);
+    assert_eq!(fast, slow, "fastpath must change speed, never values");
+}

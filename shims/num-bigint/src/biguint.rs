@@ -140,6 +140,63 @@ fn div_rem_small(u: &[u64], d: u64) -> (Vec<u64>, u64) {
     (q, rem as u64)
 }
 
+/// Branch-coverage counters for the rare Algorithm D corrections: the D3
+/// q̂-adjustment loop and the D6 add-back step fire with probability
+/// ~2⁻⁶⁴ on random inputs, so the targeted tests assert through these that
+/// their crafted inputs really exercised the branches.
+#[cfg(test)]
+pub(crate) mod knuth_coverage {
+    use std::cell::Cell;
+
+    thread_local! {
+        static TOTAL_CORRECTIONS: Cell<u64> = const { Cell::new(0) };
+        static ROUND_CORRECTIONS: Cell<u64> = const { Cell::new(0) };
+        static MAX_ROUND_CORRECTIONS: Cell<u64> = const { Cell::new(0) };
+        static ADD_BACKS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Counter snapshot: (total q̂ corrections, max corrections within a
+    /// single D2..D7 round, D6 add-backs) since the last [`reset`].
+    pub(crate) struct Snapshot {
+        pub(crate) corrections: u64,
+        pub(crate) max_round_corrections: u64,
+        pub(crate) add_backs: u64,
+    }
+
+    pub(crate) fn reset() {
+        TOTAL_CORRECTIONS.with(|c| c.set(0));
+        ROUND_CORRECTIONS.with(|c| c.set(0));
+        MAX_ROUND_CORRECTIONS.with(|c| c.set(0));
+        ADD_BACKS.with(|c| c.set(0));
+    }
+
+    pub(crate) fn snapshot() -> Snapshot {
+        Snapshot {
+            corrections: TOTAL_CORRECTIONS.with(Cell::get),
+            max_round_corrections: MAX_ROUND_CORRECTIONS.with(Cell::get),
+            add_backs: ADD_BACKS.with(Cell::get),
+        }
+    }
+
+    pub(crate) fn begin_round() {
+        ROUND_CORRECTIONS.with(|c| c.set(0));
+    }
+
+    pub(crate) fn note_correction() {
+        TOTAL_CORRECTIONS.with(|c| c.set(c.get() + 1));
+        ROUND_CORRECTIONS.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(crate) fn end_round() {
+        let round = ROUND_CORRECTIONS.with(Cell::get);
+        MAX_ROUND_CORRECTIONS.with(|c| c.set(c.get().max(round)));
+    }
+
+    pub(crate) fn note_add_back() {
+        ADD_BACKS.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
 /// Requires `v.len() >= 2` and `u >= v`.
 fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
@@ -163,11 +220,15 @@ fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = numer / vn[n - 1] as u128;
         let mut rhat = numer % vn[n - 1] as u128;
+        #[cfg(test)]
+        knuth_coverage::begin_round();
         loop {
             if qhat >> 64 != 0
                 || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
+                #[cfg(test)]
+                knuth_coverage::note_correction();
                 rhat += vn[n - 1] as u128;
                 if rhat >> 64 == 0 {
                     continue;
@@ -175,6 +236,8 @@ fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
             }
             break;
         }
+        #[cfg(test)]
+        knuth_coverage::end_round();
 
         // D4: multiply-and-subtract q̂·v from the current dividend window.
         let mut borrow = 0i128;
@@ -192,6 +255,8 @@ fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         // D6: q̂ was one too large (probability ~2⁻⁶⁴): add one divisor back.
         if t < 0 {
             qhat -= 1;
+            #[cfg(test)]
+            knuth_coverage::note_add_back();
             let mut carry = 0u128;
             for i in 0..n {
                 let sum = un[i + j] as u128 + vn[i] as u128 + carry;
@@ -262,8 +327,35 @@ impl BigUint {
         limb < self.limbs.len() && self.limbs[limb] & (1u64 << (bit % 64)) != 0
     }
 
-    /// `self^exponent mod modulus` by left-to-right binary exponentiation.
+    /// `self^exponent mod modulus`.
+    ///
+    /// Odd moduli dispatch to the Montgomery/REDC windowed path
+    /// ([`crate::montgomery::MontgomeryCtx`]) unless the global
+    /// [`crate::fastpath`] switch is off; even moduli (and the disabled
+    /// switch) fall back to [`Self::modpow_schoolbook`].  Both paths are
+    /// value-identical on every input — the differential test battery in
+    /// `tests/montgomery_differential.rs` pins this — so callers observe
+    /// only a speed difference.
+    ///
+    /// Callers exponentiating repeatedly against one odd modulus should
+    /// hold a [`crate::montgomery::MontgomeryCtx`] themselves to amortise
+    /// the per-modulus precomputation this convenience wrapper redoes.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if crate::fastpath::enabled() && modulus.bit(0) {
+            if let Some(ctx) = crate::montgomery::MontgomeryCtx::new(modulus) {
+                return ctx.modpow(self, exponent);
+            }
+        }
+        self.modpow_schoolbook(exponent, modulus)
+    }
+
+    /// `self^exponent mod modulus` by left-to-right binary exponentiation
+    /// with a full Knuth-D division per step.
+    ///
+    /// This is the pre-Montgomery baseline, kept public as the oracle for
+    /// the differential tests and the "before" leg of the speedup benches.
+    pub fn modpow_schoolbook(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -757,6 +849,139 @@ mod tests {
             let (q, r) = Integer::div_rem(&a, &b);
             assert_eq!(&q * &b + &r, a, "reconstruction failed");
             assert!(r < b, "remainder must be below the divisor");
+        }
+    }
+
+    #[test]
+    fn knuth_double_qhat_correction_branch() {
+        // TAOCP 4.3.1-style extremal operands for the D3 estimate: with
+        // v = [b-1, b/2] (b = 2^64) the top-limb estimate of q̂ for the
+        // dividend window [*, b-2, b/2] overshoots the true quotient limb
+        // by two — the first correction comes from the q̂ ≥ b overflow
+        // check, the second from the v_{n-2} two-limb test — which is the
+        // maximum Knuth's theorem allows per round.
+        let b_max = u64::MAX; // b - 1
+        let top = 1u64 << 63; // b / 2
+        let u = BigUint::from_limbs(vec![7, b_max - 1, top]);
+        let v = BigUint::from_limbs(vec![b_max, top]);
+        knuth_coverage::reset();
+        let (q, r) = Integer::div_rem(&u, &v);
+        let cov = knuth_coverage::snapshot();
+        assert_eq!(
+            cov.max_round_corrections, 2,
+            "crafted input must take exactly two q̂ corrections in one round"
+        );
+        assert_eq!(&q * &v + &r, u, "reconstruction");
+        assert!(r < v);
+        // The corrected quotient limb is b - 1 (estimate was b + 1).
+        assert_eq!(q, BigUint::from_limbs(vec![u64::MAX]));
+    }
+
+    #[test]
+    fn knuth_add_back_branch() {
+        // 64-bit analog of the classic add-back vector (Hacker's Delight
+        // §9-2 test set): v's second limb is zero, so the two-limb D3 test
+        // cannot catch the overshoot and D6 must add one divisor back.
+        let u = BigUint::from_limbs(vec![3, 0, 1u64 << 63]);
+        let v = BigUint::from_limbs(vec![1, 0, 1u64 << 61]);
+        knuth_coverage::reset();
+        let (q, r) = Integer::div_rem(&u, &v);
+        let cov = knuth_coverage::snapshot();
+        assert!(cov.add_backs >= 1, "crafted input must exercise the D6 add-back");
+        assert_eq!(q, BigUint::from(3u32));
+        assert_eq!(r, BigUint::one() << 189u32);
+        assert_eq!(&q * &v + &r, u, "reconstruction");
+    }
+
+    #[test]
+    fn knuth_correction_searches_stay_within_theorem_bound() {
+        // Structured fuzz around the extremal region (minimal normalized
+        // top divisor limb, near-maximal dividend limbs): every division
+        // must reconstruct exactly and no round may correct q̂ more than
+        // twice (TAOCP 4.3.1 Theorem B).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1F);
+        knuth_coverage::reset();
+        for _ in 0..2_000 {
+            let n = rng.gen_range(2..4usize);
+            let m = rng.gen_range(n..n + 3);
+            let mut v_limbs: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() | (u64::MAX << 32)).collect();
+            v_limbs[n - 1] = (1u64 << 63) + rng.gen_range(0..4u64);
+            let u_limbs: Vec<u64> = (0..m).map(|_| u64::MAX - rng.gen_range(0..4u64)).collect();
+            let u = BigUint::from_limbs(u_limbs);
+            let v = BigUint::from_limbs(v_limbs);
+            if u < v {
+                continue;
+            }
+            let (q, r) = Integer::div_rem(&u, &v);
+            assert_eq!(&q * &v + &r, u, "reconstruction");
+            assert!(r < v);
+        }
+        let cov = knuth_coverage::snapshot();
+        assert!(cov.corrections > 0, "extremal region must exercise the D3 correction");
+        assert!(
+            cov.max_round_corrections <= 2,
+            "no round may correct q̂ more than twice, saw {}",
+            cov.max_round_corrections
+        );
+    }
+
+    #[test]
+    fn div_rem_differential_vs_u128() {
+        // Fuzz-style differential: on ≤128-bit operands the shim must
+        // agree limb-for-limb with native u128 arithmetic.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for i in 0..10_000 {
+            let u_bits = rng.gen_range(0..129u32);
+            let v_bits = rng.gen_range(1..129u32);
+            let mut mask = |bits: u32| -> u128 {
+                if bits == 0 {
+                    0
+                } else {
+                    let raw: u128 = (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128;
+                    let top_masked = raw >> (128 - bits);
+                    top_masked | 1u128 << (bits - 1) // pin the bit length
+                }
+            };
+            let u = mask(u_bits);
+            let v = mask(v_bits);
+            if v == 0 {
+                continue;
+            }
+            let (q, r) = Integer::div_rem(&BigUint::from(u), &BigUint::from(v));
+            assert_eq!(q, BigUint::from(u / v), "case {i}: {u} / {v}");
+            assert_eq!(r, BigUint::from(u % v), "case {i}: {u} % {v}");
+        }
+    }
+
+    #[test]
+    fn modpow_dispatch_agrees_with_schoolbook_both_parities() {
+        // The public modpow must agree with the schoolbook baseline for
+        // odd moduli (Montgomery path) and even moduli (fallback), with
+        // the fastpath switch in either position.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1F0);
+        for _ in 0..40 {
+            let m_bits = rng.gen_range(2..300u64);
+            let mut m = BigUint::from_limbs(
+                (0..m_bits.div_ceil(64)).map(|_| rng.gen::<u64>()).collect(),
+            );
+            m.set_bit(m_bits - 1, true);
+            if m.is_one() {
+                continue;
+            }
+            let base = BigUint::from_limbs((0..6).map(|_| rng.gen::<u64>()).collect());
+            let exp = BigUint::from_limbs((0..3).map(|_| rng.gen::<u64>()).collect());
+            let expected = base.modpow_schoolbook(&exp, &m);
+            assert_eq!(base.modpow(&exp, &m), expected);
+            crate::fastpath::set_enabled(false);
+            let under_baseline = base.modpow(&exp, &m);
+            crate::fastpath::set_enabled(true);
+            assert_eq!(under_baseline, expected);
         }
     }
 

@@ -3,21 +3,61 @@
 //! The build environment cannot reach crates.io, so this workspace ships a
 //! real — not mocked — arbitrary-precision integer implementation covering
 //! the API subset the Damgård–Jurik crypto substrate uses: schoolbook
-//! multiplication, Knuth Algorithm D division, binary modular
-//! exponentiation, Euclidean gcd, bit manipulation, byte/limb codecs and the
-//! `RandBigInt` sampling extension over the workspace's `rand` shim.
+//! multiplication, Knuth Algorithm D division, modular exponentiation,
+//! Euclidean gcd, bit manipulation, byte/limb codecs and the `RandBigInt`
+//! sampling extension over the workspace's `rand` shim.
 //!
 //! Numbers in this workspace stay below ~4096 bits (the paper's 1024-bit
 //! RSA moduli with Damgård–Jurik exponent `s ≤ 2` give `n^{s+1}` ≈ 3072
-//! bits), so the quadratic algorithms are the right trade-off: no Karatsuba,
-//! no Montgomery, just carefully tested limb arithmetic.
+//! bits), so quadratic multiplication is the right trade-off — no Karatsuba.
+//! Modular exponentiation, the crypto hot path, additionally ships a
+//! Montgomery/REDC fast path ([`montgomery::MontgomeryCtx`]) with windowed
+//! exponentiation that [`BigUint::modpow`] dispatches to for odd moduli;
+//! the binary schoolbook ladder survives as
+//! [`BigUint::modpow_schoolbook`] and as the differential-testing baseline
+//! (see [`fastpath`]).
 
 #![forbid(unsafe_code)]
 
 mod bigint;
 mod biguint;
+pub mod montgomery;
 mod rand_support;
 
 pub use bigint::BigInt;
 pub use biguint::BigUint;
 pub use rand_support::RandBigInt;
+
+/// Process-wide switch between the Montgomery/CRT fast path and the
+/// schoolbook baseline.
+///
+/// Both paths are value-identical on every input — the differential test
+/// battery pins this — so the switch only ever changes *speed*, never a
+/// result bit.  It exists for two callers:
+///
+/// * differential tests that re-run a whole pipeline under the baseline
+///   and assert bit-for-bit equality with the fast path, and
+/// * the speedup benches (`parallel_speedup`, `packing_speedup`), which
+///   measure the before/after ratio the regression gate asserts on.
+///
+/// Because values never differ, the relaxed global is safe even when
+/// parallel tests toggle it around an unrelated run: the worst case is a
+/// measurement running at the wrong speed, never a wrong answer.  Layers
+/// above the shim (e.g. the Damgård–Jurik CRT split in `crates/crypto`)
+/// consult the same switch so "disabled" means the full schoolbook
+/// pipeline, not a partial one.
+pub mod fastpath {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Enables (default) or disables the Montgomery/CRT fast path.
+    pub fn set_enabled(enabled: bool) {
+        ENABLED.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the Montgomery/CRT fast path is currently enabled.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,507 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! The Damgård–Jurik hot path is modular exponentiation over the fixed odd
+//! modulus `n^{s+1}`: thousands of modular multiplications per ciphertext,
+//! each of which the schoolbook path pays for with a full Knuth-D division.
+//! Montgomery's REDC replaces that division with two multiply-accumulate
+//! passes and a conditional subtraction, and a precomputed context
+//! ([`MontgomeryCtx`]) amortises the per-modulus setup (`n' = -n⁻¹ mod 2⁶⁴`
+//! and `R² mod n` with `R = 2^{64·L}`) across every operation on the same
+//! modulus.
+//!
+//! # Determinism contract
+//!
+//! Every function here is **value-identical** to the schoolbook path: for
+//! any inputs, `ctx.modpow(b, e) == b.modpow_schoolbook(e, n)`.  The layer
+//! changes *where time is spent*, never a single output bit, and consumes
+//! no randomness — which is what lets [`crate::BigUint::modpow`] dispatch
+//! here transparently without moving any pinned seed baseline.  The
+//! differential test battery (`tests/montgomery_differential.rs` plus the
+//! in-module tests) pins the equivalence over random odd moduli from 1 to
+//! 4096 bits and every edge case the crypto substrate exercises.
+
+use num_traits::{One, Zero};
+
+use crate::biguint::BigUint;
+
+/// A value in Montgomery form: `x·R mod n` as exactly `L` little-endian
+/// limbs (where `L` is the modulus limb count of the owning context).
+///
+/// Montgomery integers are only meaningful relative to the
+/// [`MontgomeryCtx`] that produced them; mixing contexts is a logic error
+/// (debug-asserted via the limb length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontInt {
+    limbs: Vec<u64>,
+}
+
+/// Precomputed per-modulus state for Montgomery multiplication (REDC) and
+/// windowed modular exponentiation.
+///
+/// Construction is a single division (`R² mod n`) plus a word inverse; a
+/// context is immutable afterwards and freely shared across threads, so
+/// one context serves all exponentiations against the same modulus (the
+/// Damgård–Jurik public key caches one per `n^{s+1}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    /// The (odd) modulus as a `BigUint`.
+    modulus: BigUint,
+    /// The modulus limbs, length `L ≥ 1`, top limb non-zero.
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴` (the REDC word inverse `n'`).
+    n0_inv: u64,
+    /// `R² mod n`, padded to `L` limbs (`R = 2^{64·L}`).
+    r2: Vec<u64>,
+    /// `R mod n`, padded to `L` limbs — the Montgomery form of 1.
+    one: Vec<u64>,
+}
+
+/// `-a⁻¹ mod 2⁶⁴` for odd `a`, by Newton–Hensel lifting (5 doublings of
+/// precision from the 4-bit seed `a⁻¹ ≡ a mod 16`).
+fn neg_inv_u64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1, "word inverse requires an odd modulus");
+    let mut inv = a; // correct to 4 bits for odd a
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(a.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+/// Compares two equal-length limb slices (not necessarily normalized).
+fn cmp_fixed(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x.cmp(y);
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `out = a - b` over equal-length slices; requires `a >= b` unless the
+/// caller absorbs the returned borrow (the REDC final subtraction does,
+/// via the guaranteed high limb).
+fn sub_fixed(a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let d = a[i] as i128 - b[i] as i128 + borrow;
+        out[i] = d as u64;
+        borrow = d >> 64; // arithmetic shift: 0 or -1
+    }
+    borrow.unsigned_abs() as u64
+}
+
+/// Squaring `t[..2·a.len()] = a²` exploiting symmetry: the off-diagonal
+/// products are computed once and doubled, roughly halving the multiply
+/// count against [`mul_into`].  `t` must be zeroed, `2·a.len() + 1` limbs.
+fn sqr_into(a: &[u64], t: &mut [u64]) {
+    let l = a.len();
+    assert!(t.len() == 2 * l + 1);
+    // Off-diagonal half: t += Σ_{i<j} a_i·a_j · 2^{64(i+j)}.
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let (win, hi) = t[2 * i + 1..].split_at_mut(l - i - 1);
+        let mut carry = 0u128;
+        for (tij, &aj) in win.iter_mut().zip(&a[i + 1..]) {
+            let s = *tij as u128 + ai as u128 * aj as u128 + carry;
+            *tij = s as u64;
+            carry = s >> 64;
+        }
+        hi[0] = carry as u64;
+    }
+    // Fused pass: t = 2·t + Σ a_i² · 2^{128·i}.  The doubling carry is one
+    // bit per limb; the diagonal addition carries through both limbs of
+    // each a_i² product.  2·offdiag + diag = a² < 2^{128·l}, so the final
+    // carries land in t[2l].
+    let mut dbl_carry = 0u64;
+    let mut add_carry = 0u128;
+    for i in 0..l {
+        let lo = t[2 * i];
+        let hi = t[2 * i + 1];
+        let aa = a[i] as u128 * a[i] as u128;
+        let s0 = (((lo << 1) | dbl_carry) as u128) + (aa as u64 as u128) + add_carry;
+        t[2 * i] = s0 as u64;
+        let s1 = (((hi << 1) | (lo >> 63)) as u128) + (aa >> 64) + (s0 >> 64);
+        t[2 * i + 1] = s1 as u64;
+        add_carry = s1 >> 64;
+        dbl_carry = hi >> 63;
+    }
+    let top = dbl_carry as u128 + add_carry;
+    t[2 * l] = top as u64;
+    debug_assert_eq!(top >> 64, 0, "a² must fit in 2l+1 limbs");
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus; returns `None` for even or
+    /// zero moduli (the caller falls back to the schoolbook path).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        let n = modulus.to_u64_digits();
+        if n.is_empty() || n[0] & 1 == 0 {
+            return None;
+        }
+        let l = n.len();
+        let n0_inv = neg_inv_u64(n[0]);
+        // R² mod n and R mod n via one exact division each (R = 2^{64l}).
+        let mut r2 = (&(BigUint::one() << (128 * l)) % modulus).to_u64_digits();
+        r2.resize(l, 0);
+        let mut one = (&(BigUint::one() << (64 * l)) % modulus).to_u64_digits();
+        one.resize(l, 0);
+        Some(Self { modulus: modulus.clone(), n, n0_inv, r2, one })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The modulus size in limbs (`L`).
+    fn width(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery reduction: interprets `t` (exactly `2L + 1` limbs, value
+    /// `< n·R + n·R`) as a double-width integer and writes `t·R⁻¹ mod n`
+    /// into `out` (`L` limbs).  Clobbers `t`.
+    fn redc(&self, t: &mut [u64], out: &mut [u64]) {
+        let n = self.n.as_slice();
+        let l = n.len();
+        assert!(t.len() == 2 * l + 1 && out.len() == l);
+        // The overflow out of position `i + l` lands exactly where round
+        // `i + 1` adds its own carry, so a single spill word chains the
+        // rounds together instead of an open-ended ripple loop.
+        let mut column = 0u64;
+        for i in 0..l {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let (win, hi) = t[i..].split_at_mut(l);
+            let mut carry = 0u128;
+            for (tj, &nj) in win.iter_mut().zip(n) {
+                let s = *tj as u128 + m as u128 * nj as u128 + carry;
+                *tj = s as u64;
+                carry = s >> 64;
+            }
+            let s = hi[0] as u128 + carry + column as u128;
+            hi[0] = s as u64;
+            column = (s >> 64) as u64;
+        }
+        // The running value stays below n·R + n·R < 2^{64·2l + 1}, so the
+        // last spill fits the top limb exactly.
+        let s = t[2 * l] as u128 + column as u128;
+        t[2 * l] = s as u64;
+        debug_assert_eq!(s >> 64, 0, "REDC intermediate exceeded its buffer");
+        // t / R < 2n: at most one final subtraction.
+        let needs_sub = t[2 * l] != 0 || cmp_fixed(&t[l..2 * l], n) != std::cmp::Ordering::Less;
+        if needs_sub {
+            let borrow = sub_fixed(&t[l..2 * l], n, out);
+            debug_assert_eq!(borrow, t[2 * l], "REDC result must be below 2n");
+        } else {
+            out.copy_from_slice(&t[l..2 * l]);
+        }
+    }
+
+    /// `out = a·b·R⁻¹ mod n` over raw `L`-limb slices by fused CIOS
+    /// (coarsely integrated operand scanning): each outer round multiplies
+    /// one limb of `a` in and immediately folds one REDC step, so the
+    /// working set stays at `L + 2` limbs and every intermediate limb is
+    /// touched once per round instead of once per pass.  `t` is scratch of
+    /// at least `L + 2` limbs (clobbered, need not be zeroed on entry).
+    fn mul_raw(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
+        let n = self.n.as_slice();
+        let l = n.len();
+        // One up-front check lets the optimizer drop the per-limb bounds
+        // checks in the hot loops below.
+        assert!(a.len() == l && b.len() == l && t.len() >= l + 2 && out.len() == l);
+        let t = &mut t[..l + 2];
+        t.fill(0);
+        for &ai in a {
+            // Multiply step: t += ai · b.
+            let mut carry = 0u128;
+            for (tj, &bj) in t.iter_mut().zip(b) {
+                let s = *tj as u128 + ai as u128 * bj as u128 + carry;
+                *tj = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[l] as u128 + carry;
+            t[l] = s as u64;
+            t[l + 1] = (s >> 64) as u64; // < 2: t stays below 2^{64(l+1)+1}
+            // Reduce step: add m·n to zero the low limb, shift right one.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = (t[0] as u128 + m as u128 * n[0] as u128) >> 64;
+            for j in 1..l {
+                let s = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[l] as u128 + carry;
+            t[l - 1] = s as u64;
+            t[l] = t[l + 1] + (s >> 64) as u64;
+        }
+        // t < 2n: at most one final subtraction.
+        if t[l] != 0 || cmp_fixed(&t[..l], n) != std::cmp::Ordering::Less {
+            let borrow = sub_fixed(&t[..l], n, out);
+            debug_assert_eq!(borrow, t[l], "CIOS result must be below 2n");
+        } else {
+            out.copy_from_slice(&t[..l]);
+        }
+    }
+
+    /// `out = a²·R⁻¹ mod n` over raw `L`-limb slices (squaring-optimised).
+    fn sqr_raw(&self, a: &[u64], t: &mut [u64], out: &mut [u64]) {
+        t.fill(0);
+        sqr_into(a, t);
+        self.redc(t, out);
+    }
+
+    /// Converts a plain integer (any size — it is reduced modulo `n`
+    /// first) into Montgomery form.
+    pub fn to_mont(&self, x: &BigUint) -> MontInt {
+        let l = self.width();
+        let mut limbs = (x % &self.modulus).to_u64_digits();
+        limbs.resize(l, 0);
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut out = vec![0u64; l];
+        self.mul_raw(&limbs, &self.r2, &mut t, &mut out);
+        MontInt { limbs: out }
+    }
+
+    /// Converts a Montgomery-form value back to a plain integer `< n`.
+    pub fn from_mont(&self, x: &MontInt) -> BigUint {
+        let l = self.width();
+        debug_assert_eq!(x.limbs.len(), l, "MontInt from a different context");
+        let mut t = vec![0u64; 2 * l + 1];
+        t[..l].copy_from_slice(&x.limbs);
+        let mut out = vec![0u64; l];
+        self.redc(&mut t, &mut out);
+        BigUint::from_limbs(out)
+    }
+
+    /// The Montgomery form of 1 (`R mod n`).
+    pub fn one(&self) -> MontInt {
+        MontInt { limbs: self.one.clone() }
+    }
+
+    /// Montgomery product: `mont(a·b)` for Montgomery-form inputs.
+    pub fn mont_mul(&self, a: &MontInt, b: &MontInt) -> MontInt {
+        let l = self.width();
+        debug_assert!(a.limbs.len() == l && b.limbs.len() == l);
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut out = vec![0u64; l];
+        self.mul_raw(&a.limbs, &b.limbs, &mut t, &mut out);
+        MontInt { limbs: out }
+    }
+
+    /// Montgomery square: `mont(a²)`, using the symmetric-product kernel
+    /// (squarings dominate every modpow, so they get the dedicated path).
+    pub fn mont_sqr(&self, a: &MontInt) -> MontInt {
+        let l = self.width();
+        debug_assert_eq!(a.limbs.len(), l);
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut out = vec![0u64; l];
+        self.sqr_raw(&a.limbs, &mut t, &mut out);
+        MontInt { limbs: out }
+    }
+
+    /// Fixed-window width for an exponent of `bits` bits: table cost
+    /// (`2^w − 2` products) must stay well below the multiply savings.
+    fn window_bits(bits: u64) -> u64 {
+        match bits {
+            0..=15 => 1,
+            16..=47 => 2,
+            48..=143 => 3,
+            144..=767 => 4,
+            _ => 5,
+        }
+    }
+
+    /// `base^exponent mod n` by left-to-right fixed-window exponentiation
+    /// entirely in Montgomery form.  Value-identical to
+    /// [`BigUint::modpow_schoolbook`] for every input (including
+    /// `base ≥ n`, zero/one exponents and `n = 1`).
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let bits = exponent.bits();
+        if bits == 0 {
+            return BigUint::one();
+        }
+        let base_m = self.to_mont(base);
+        if bits == 1 {
+            return self.from_mont(&base_m);
+        }
+        let l = self.width();
+        let w = Self::window_bits(bits);
+        // table[d] = mont(base^d) for every window digit d.
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << w);
+        table.push(self.one.clone());
+        table.push(base_m.limbs);
+        for d in 2..(1usize << w) {
+            let mut out = vec![0u64; l];
+            self.mul_raw(&table[d - 1], &table[1], &mut t, &mut out);
+            table.push(out);
+        }
+        let digits = exponent.to_u64_digits();
+        let mask = (1u64 << w) - 1;
+        let digit_at = |window: u64| -> u64 {
+            let bit = window * w;
+            let limb = (bit / 64) as usize;
+            if limb >= digits.len() {
+                return 0;
+            }
+            let offset = bit % 64;
+            let mut digit = (digits[limb] >> offset) & mask;
+            if offset + w > 64 {
+                if let Some(&next) = digits.get(limb + 1) {
+                    digit |= (next << (64 - offset)) & mask;
+                }
+            }
+            digit
+        };
+        let windows = bits.div_ceil(w);
+        // The top window covers the exponent's most significant bit, so
+        // its digit is non-zero and seeds the accumulator directly.
+        let top = digit_at(windows - 1);
+        debug_assert!(top != 0);
+        let mut acc = table[top as usize].clone();
+        let mut tmp = vec![0u64; l];
+        for window in (0..windows - 1).rev() {
+            for _ in 0..w {
+                self.sqr_raw(&acc, &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let digit = digit_at(window);
+            if digit != 0 {
+                self.mul_raw(&acc, &table[digit as usize], &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        self.from_mont(&MontInt { limbs: acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandBigInt;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn rejects_even_and_zero_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&big(2)).is_none());
+        assert!(MontgomeryCtx::new(&big(1 << 20)).is_none());
+        assert!(MontgomeryCtx::new(&big(1)).is_some());
+        assert!(MontgomeryCtx::new(&big(3)).is_some());
+    }
+
+    #[test]
+    fn word_inverse_is_exact_for_odd_words() {
+        for a in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1, u64::MAX - 1] {
+            if a & 1 == 1 {
+                let neg_inv = neg_inv_u64(a);
+                assert_eq!(a.wrapping_mul(neg_inv.wrapping_neg()), 1, "a = {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mont_round_trip_preserves_values() {
+        let m = big(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for v in [0u128, 1, 2, 999_999_999, 1_000_000_006, u64::MAX as u128] {
+            let x = big(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), &x % &m, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_and_sqr_match_plain_modular_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [64u64, 65, 127, 128, 192, 1024] {
+            let mut m = rng.gen_biguint(bits);
+            m.set_bit(0, true);
+            m.set_bit(bits - 1, true);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            for _ in 0..20 {
+                let a = rng.gen_biguint_below(&m);
+                let b = rng.gen_biguint_below(&m);
+                let prod = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+                assert_eq!(prod, &a * &b % &m);
+                let sq = ctx.from_mont(&ctx.mont_sqr(&ctx.to_mont(&a)));
+                assert_eq!(sq, &a * &a % &m);
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_matches_schoolbook_on_small_values() {
+        let m = big(97);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for base in 0u64..10 {
+            for exp in 0u64..20 {
+                let b = BigUint::from(base);
+                let e = BigUint::from(exp);
+                assert_eq!(
+                    ctx.modpow(&b, &e),
+                    b.modpow_schoolbook(&e, &m),
+                    "base = {base}, exp = {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_handles_modulus_one_and_oversized_bases() {
+        let one = BigUint::one();
+        let ctx = MontgomeryCtx::new(&one).unwrap();
+        assert_eq!(ctx.modpow(&big(12345), &big(678)), BigUint::zero());
+        let m = big(1_000_003);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let oversized = &m * &m + big(17);
+        let e = big(123);
+        assert_eq!(ctx.modpow(&oversized, &e), oversized.modpow_schoolbook(&e, &m));
+    }
+
+    #[test]
+    fn modpow_window_boundaries_match_schoolbook() {
+        // Exponent bit lengths straddling every window-width threshold and
+        // the 64-bit limb boundaries.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = rng.gen_biguint(256);
+        m.set_bit(0, true);
+        m.set_bit(255, true);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for bits in [1u64, 15, 16, 47, 48, 63, 64, 65, 127, 128, 129, 143, 144, 191, 192, 767, 768]
+        {
+            let mut e = rng.gen_biguint(bits);
+            e.set_bit(bits - 1, true); // pin the exact bit length
+            let b = rng.gen_biguint_below(&m);
+            assert_eq!(ctx.modpow(&b, &e), b.modpow_schoolbook(&e, &m), "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn shared_context_serves_many_exponentiations() {
+        // The batching pattern the crypto layer uses: one context, many
+        // (base, exponent) pairs.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = rng.gen_biguint(512);
+        m.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for _ in 0..25 {
+            let b_bits = rng.gen_range(1..600u64);
+            let e_bits = rng.gen_range(0..600u64);
+            let b = rng.gen_biguint(b_bits);
+            let e = rng.gen_biguint(e_bits);
+            assert_eq!(ctx.modpow(&b, &e), b.modpow_schoolbook(&e, &m));
+        }
+    }
+}
